@@ -1,0 +1,37 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+RND bonus, thermal evaluator in the loop, wirelength evaluator, and
+placement-grid resolution, all on synthetic case 1.
+"""
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.experiments import run_ablations
+from repro.experiments.report import format_table
+
+ARTIFACT_DIR = Path("bench_results")
+
+
+def test_ablations(benchmark, bench_budget):
+    results = benchmark.pedantic(
+        run_ablations,
+        kwargs={"budget": bench_budget, "verbose": False},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(results, title="Ablations (synthetic case 1)"))
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    (ARTIFACT_DIR / "ablations.json").write_text(
+        json.dumps([asdict(r) for r in results], indent=2, default=str)
+    )
+    labels = {r.method for r in results}
+    assert "rl/fast/base" in labels
+    assert "rl/fast/rnd" in labels
+    assert "rl/solver/base" in labels
+    # Shape: the solver-in-the-loop variant costs far more wall clock for
+    # the same epoch budget — the reason the fast model exists.
+    by = {r.method: r for r in results}
+    assert by["rl/solver/base"].runtime_s > 2.0 * by["rl/fast/base"].runtime_s

@@ -1,0 +1,99 @@
+"""Table II: fast thermal model accuracy and per-evaluation speed.
+
+Two real timing benchmarks (the paper's "inference speed" row):
+
+* ``test_bench_solver_evaluation``  — one HotSpot-style full solve
+* ``test_bench_fast_model_evaluation`` — one surrogate evaluation
+
+plus the accuracy study over the synthetic dataset, which prints the
+MSE/RMSE/MAE/MAPE block next to the paper's numbers and saves a JSON
+artifact under ``bench_results/``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.random_search import random_legal_placement
+from repro.experiments import run_table2
+from repro.experiments.runner import DEFAULT_CACHE_DIR
+from repro.systems.synthetic import (
+    DATASET_INTERPOSER,
+    DATASET_SIZES,
+    synthetic_system,
+)
+from repro.thermal import FastThermalModel, GridThermalSolver, ThermalConfig
+from repro.thermal.characterize import load_or_characterize
+from repro.utils import new_rng
+
+ARTIFACT_DIR = Path("bench_results")
+
+
+@pytest.fixture(scope="module")
+def thermal_setup():
+    config = ThermalConfig(r_convection=0.12)
+    sizes = [(w, h) for w in DATASET_SIZES for h in DATASET_SIZES]
+    tables = load_or_characterize(
+        DATASET_INTERPOSER, sizes, config, cache_dir=DEFAULT_CACHE_DIR
+    )
+    fast_model = FastThermalModel(tables, config)
+    solver = GridThermalSolver(DATASET_INTERPOSER, config)
+    system = synthetic_system(seed=123)
+    placement = random_legal_placement(
+        system, new_rng(5), allow_rotation=False
+    )
+    return solver, fast_model, placement
+
+
+def test_bench_solver_evaluation(benchmark, thermal_setup):
+    """One full-grid steady-state solve (HotSpot stand-in)."""
+    solver, _, placement = thermal_setup
+    result = benchmark.pedantic(
+        solver.evaluate, args=(placement,), rounds=3, iterations=1
+    )
+    assert result.max_temperature > 300.0
+
+
+def test_bench_fast_model_evaluation(benchmark, thermal_setup):
+    """One surrogate evaluation (the paper's 0.1 s vs 12.9 s row)."""
+    _, fast_model, placement = thermal_setup
+    result = benchmark.pedantic(
+        fast_model.evaluate, args=(placement,), rounds=20, iterations=5
+    )
+    assert result.max_temperature > 300.0
+
+
+def test_table2_accuracy(benchmark, table2_n_systems):
+    """Full Table II regeneration on the synthetic dataset."""
+    result = benchmark.pedantic(
+        run_table2,
+        kwargs={"n_systems": table2_n_systems, "seed": 7},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.format())
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    (ARTIFACT_DIR / "table2.json").write_text(
+        json.dumps(
+            {
+                "metrics": result.metrics,
+                "speedup": result.speedup,
+                "solver_ms": result.solver_time_per_eval * 1e3,
+                "fast_ms": result.fast_time_per_eval * 1e3,
+                "n_systems": result.n_systems,
+                "paper": {
+                    "mse": 0.1732,
+                    "rmse": 0.4162,
+                    "mae": 0.2523,
+                    "mape": 0.0726,
+                    "speedup": 127,
+                },
+            },
+            indent=2,
+        )
+    )
+    # Shape assertions: sub-Kelvin accuracy, order-of-magnitude speedup.
+    assert result.metrics["mae"] < 1.0
+    assert result.speedup > 50.0

@@ -1,0 +1,72 @@
+"""Table III: reward comparison on the five synthetic systems.
+
+Runs all four methods per case and computes the paper's headline
+aggregate (RLPlanner(RND) improvement over the two TAP-2.5D variants).
+"""
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import format_comparison, format_table
+from repro.experiments.runner import run_all_methods
+from repro.experiments.table3 import improvement_summary
+from repro.systems import get_benchmark
+
+ARTIFACT_DIR = Path("bench_results")
+_collected = []
+
+
+@pytest.mark.parametrize("case", [1, 2, 3, 4, 5])
+def test_table3_case(benchmark, bench_budget, case):
+    spec = get_benchmark(f"synthetic{case}")
+    results = benchmark.pedantic(
+        run_all_methods,
+        args=(spec, bench_budget),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_table(results, title=f"Table III — case {case}"))
+    print(format_comparison(results, spec.paper_reference, spec.name))
+    _collected.extend(results)
+
+    by_method = {r.method: r for r in results}
+    assert len(by_method) == 4
+    for res in results:
+        assert res.reward < 0.0
+
+
+def test_table3_summary(benchmark):
+    """Aggregate across the collected cases (paper: +20.28 % / +9.25 %)."""
+    if not _collected:
+        pytest.skip("per-case benches did not run")
+    summary = benchmark.pedantic(
+        improvement_summary, args=(_collected,), rounds=1, iterations=1
+    )
+    print()
+    print(
+        f"RLPlanner(RND) vs TAP-2.5D(HotSpot):    "
+        f"{summary['rnd_vs_hotspot_pct']:+.2f}%  (paper +20.28% over 8 cases)"
+    )
+    print(
+        f"RLPlanner(RND) vs TAP-2.5D*(FastThermal): "
+        f"{summary['rnd_vs_fast_pct']:+.2f}%  (paper +9.25%)"
+    )
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    (ARTIFACT_DIR / "table3.json").write_text(
+        json.dumps(
+            {
+                "results": [asdict(r) for r in _collected],
+                "summary": summary,
+                "paper_summary": {
+                    "rnd_vs_hotspot_pct": 20.28,
+                    "rnd_vs_fast_pct": 9.25,
+                },
+            },
+            indent=2,
+            default=str,
+        )
+    )

@@ -1,0 +1,40 @@
+"""Shared configuration for the benchmark harness.
+
+Budgets are scaled down so ``pytest benchmarks/ --benchmark-only`` runs
+in minutes.  Set ``REPRO_BENCH_FULL=1`` for paper-scale budgets (hours),
+or tune individual knobs via the environment:
+
+    REPRO_BENCH_EPOCHS        RL training epochs per method (default 12)
+    REPRO_BENCH_SA_ITERS      SA iterations with the grid solver (default 60)
+    REPRO_BENCH_T2_SYSTEMS    Table II sample count (default 40; paper 2000)
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentBudget
+
+
+def _int_env(name: str, default: int) -> int:
+    return int(os.environ.get(name, default))
+
+
+@pytest.fixture(scope="session")
+def bench_budget() -> ExperimentBudget:
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return ExperimentBudget.paper_scale()
+    return ExperimentBudget(
+        rl_epochs=_int_env("REPRO_BENCH_EPOCHS", 12),
+        episodes_per_epoch=8,
+        grid_size=24,
+        sa_iterations_hotspot=_int_env("REPRO_BENCH_SA_ITERS", 60),
+        seed=0,
+    )
+
+
+@pytest.fixture(scope="session")
+def table2_n_systems() -> int:
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return 2000
+    return _int_env("REPRO_BENCH_T2_SYSTEMS", 40)

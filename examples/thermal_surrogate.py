@@ -1,0 +1,66 @@
+"""Characterize the fast thermal model and validate it against the solver.
+
+Reproduces the Table II workflow on a handful of systems and renders the
+thermal field of one placement, showing what the surrogate replaces.
+
+Run:
+    python examples/thermal_surrogate.py
+"""
+
+import numpy as np
+
+from repro.baselines.random_search import random_legal_placement
+from repro.systems.synthetic import (
+    DATASET_INTERPOSER,
+    DATASET_SIZES,
+    synthetic_thermal_dataset,
+)
+from repro.thermal import (
+    FastThermalModel,
+    GridThermalSolver,
+    ThermalConfig,
+    characterize_tables,
+    error_metrics,
+)
+from repro.viz import render_thermal_map
+
+
+def main() -> None:
+    config = ThermalConfig(r_convection=0.12)
+
+    print("characterizing all dataset die sizes (one-time)...")
+    sizes = [(w, h) for w in DATASET_SIZES for h in DATASET_SIZES]
+    tables = characterize_tables(DATASET_INTERPOSER, sizes, config)
+    fast_model = FastThermalModel(tables, config)
+    solver = GridThermalSolver(DATASET_INTERPOSER, config)
+
+    print("comparing on 20 random systems...")
+    predictions, references = [], []
+    solver_time = fast_time = 0.0
+    last_result = None
+    for system, placement in synthetic_thermal_dataset(20, seed=3):
+        ref = solver.evaluate(placement)
+        fast = fast_model.evaluate(placement)
+        solver_time += ref.elapsed
+        fast_time += fast.elapsed
+        references.append(ref.max_temperature)
+        predictions.append(fast.max_temperature)
+        last_result = ref
+
+    metrics = error_metrics(predictions, references)
+    print(f"\nMAE  {metrics['mae']:.3f} K   RMSE {metrics['rmse']:.3f} K")
+    print(
+        f"solver {solver_time / 20 * 1e3:.0f} ms/eval, "
+        f"fast {fast_time / 20 * 1e3:.2f} ms/eval "
+        f"({solver_time / fast_time:.0f}x speedup)"
+    )
+
+    chip_layer = last_result.grid_temperatures[
+        config.stack.chiplet_layer_index
+    ]
+    print("\nchiplet-layer temperature field of the last system (K):")
+    print(render_thermal_map(chip_layer, width=50, height=20))
+
+
+if __name__ == "__main__":
+    main()

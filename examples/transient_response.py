@@ -1,0 +1,70 @@
+"""Transient thermal response of a floorplan (extension example).
+
+Steady-state analysis says *how hot*; this example shows *how fast*:
+the step response of a floorplan after power-on, its t90 time constant,
+and how duty cycling keeps the peak below the steady-state value —
+useful when a floorplan only has to survive bursts.
+
+Run:
+    python examples/transient_response.py
+"""
+
+from repro.chiplet import Chiplet, ChipletSystem, Interposer, Placement
+from repro.experiments.curves import ascii_curve
+from repro.thermal import (
+    GridThermalSolver,
+    ThermalConfig,
+    TransientThermalSolver,
+)
+
+
+def main() -> None:
+    interposer = Interposer(30.0, 30.0)
+    config = ThermalConfig(rows=32, cols=32, package_margin=10.0)
+    system = ChipletSystem(
+        "burst-accelerator",
+        interposer,
+        (
+            Chiplet("npu", 10.0, 10.0, 70.0, kind="ai"),
+            Chiplet("sram", 6.0, 8.0, 5.0, kind="mem"),
+        ),
+    )
+    placement = Placement(system)
+    placement.place("npu", 10.0, 10.0)
+    placement.place("sram", 22.0, 11.0)
+
+    solver = GridThermalSolver(interposer, config, reuse_factorization=True)
+    steady = solver.evaluate(placement)
+    print(f"steady-state max temperature: {steady.max_temperature_celsius:.2f} C")
+
+    transient = TransientThermalSolver(solver, dt=0.5)
+
+    print("\nstep response (power on at t=0, 120 s)...")
+    step = transient.simulate(placement, duration=120.0)
+    print(f"t50 = {step.time_to_fraction(0.5):.1f} s, "
+          f"t90 = {step.time_to_fraction(0.9):.1f} s")
+    print(ascii_curve(
+        step.max_temperature - 273.15,
+        width=64,
+        height=10,
+        label="max temperature (C) vs time, constant power",
+    ))
+
+    print("\n50% duty cycle (5 s on / 5 s off)...")
+    pulsed = transient.simulate(
+        placement,
+        duration=120.0,
+        power_scale=lambda t: 1.0 if (t % 10.0) < 5.0 else 0.0,
+    )
+    print(f"peak with duty cycling: {pulsed.max_temperature.max() - 273.15:.2f} C "
+          f"(vs {step.max_temperature.max() - 273.15:.2f} C constant)")
+    print(ascii_curve(
+        pulsed.max_temperature - 273.15,
+        width=64,
+        height=10,
+        label="max temperature (C) vs time, 50% duty",
+    ))
+
+
+if __name__ == "__main__":
+    main()

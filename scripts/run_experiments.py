@@ -1,0 +1,115 @@
+"""Regenerate every paper table and dump JSON artifacts.
+
+This is the script behind the numbers in EXPERIMENTS.md.  Budgets are
+chosen to finish in tens of minutes on one CPU; pass ``--paper-scale``
+for the full regime.
+
+Usage:
+    python scripts/run_experiments.py [--paper-scale] [--out bench_results]
+"""
+
+import argparse
+import json
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+from repro.experiments import run_table2
+from repro.experiments.report import format_comparison, format_table, save_results
+from repro.experiments.runner import ExperimentBudget, run_all_methods
+from repro.experiments.table3 import improvement_summary
+from repro.systems import get_benchmark
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--paper-scale", action="store_true")
+    parser.add_argument("--out", type=str, default="bench_results")
+    parser.add_argument("--t2-systems", type=int, default=500)
+    parser.add_argument("--epochs", type=int, default=80)
+    parser.add_argument("--episodes", type=int, default=16)
+    parser.add_argument("--grid", type=int, default=24)
+    parser.add_argument("--sa-iters", type=int, default=150)
+    parser.add_argument(
+        "--skip", nargs="*", default=[], choices=["table1", "table2", "table3"]
+    )
+    args = parser.parse_args()
+
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    budget = (
+        ExperimentBudget.paper_scale()
+        if args.paper_scale
+        else ExperimentBudget(
+            rl_epochs=args.epochs,
+            episodes_per_epoch=args.episodes,
+            grid_size=args.grid,
+            sa_iterations_hotspot=args.sa_iters,
+        )
+    )
+    print(f"budget: {budget}")
+    started = time.time()
+
+    if "table2" not in args.skip:
+        print("\n=== Table II ===")
+        t2 = run_table2(n_systems=args.t2_systems)
+        print(t2.format())
+        (out / "table2.json").write_text(
+            json.dumps(
+                {
+                    "metrics": t2.metrics,
+                    "speedup": t2.speedup,
+                    "solver_ms": t2.solver_time_per_eval * 1e3,
+                    "fast_ms": t2.fast_time_per_eval * 1e3,
+                    "characterization_s": t2.characterization_time,
+                    "n_systems": t2.n_systems,
+                },
+                indent=2,
+            )
+        )
+
+    all_results = []
+    if "table1" not in args.skip:
+        print("\n=== Table I ===")
+        for name in ("multi_gpu", "cpu_dram", "ascend910"):
+            spec = get_benchmark(name)
+            results = run_all_methods(spec, budget)
+            all_results.extend(results)
+            print(format_table(results))
+            print(format_comparison(results, spec.paper_reference, name))
+            save_results(
+                results, out / f"table1_{name}.json", {"budget": asdict(budget)}
+            )
+
+    table3_results = []
+    if "table3" not in args.skip:
+        print("\n=== Table III ===")
+        for case in (1, 2, 3, 4, 5):
+            spec = get_benchmark(f"synthetic{case}")
+            results = run_all_methods(spec, budget)
+            table3_results.extend(results)
+            print(format_table(results))
+            print(format_comparison(results, spec.paper_reference, spec.name))
+        save_results(
+            table3_results, out / "table3.json", {"budget": asdict(budget)}
+        )
+
+    combined = all_results + table3_results
+    if combined:
+        summary = improvement_summary(combined)
+        print("\n=== Aggregate (all cases) ===")
+        print(
+            f"RLPlanner(RND) vs TAP-2.5D(HotSpot):      "
+            f"{summary['rnd_vs_hotspot_pct']:+.2f}%   (paper +20.28%)"
+        )
+        print(
+            f"RLPlanner(RND) vs TAP-2.5D*(FastThermal): "
+            f"{summary['rnd_vs_fast_pct']:+.2f}%   (paper +9.25%)"
+        )
+        (out / "summary.json").write_text(json.dumps(summary, indent=2))
+
+    print(f"\ntotal wall time: {(time.time() - started) / 60:.1f} min")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""RLPlanner agent: actor-critic network and PPO training loop."""
+
+from repro.agent.networks import ActorCritic
+from repro.agent.trainer import RLPlannerTrainer, TrainerConfig, TrainingResult
+
+__all__ = ["ActorCritic", "RLPlannerTrainer", "TrainerConfig", "TrainingResult"]

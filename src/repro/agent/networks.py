@@ -1,0 +1,108 @@
+"""The actor-critic network (paper Section II-B).
+
+"The policy network and the value network share the same feature
+encoding CNN layers and two separate fully connected layers are used to
+get the probability matrix and expected reward."
+
+Encoder: three 3x3 conv layers (stride 1, 2, 2) over the observation
+image.  Heads: one fully connected layer each — policy logits over the
+action grid (masked categorical) and a scalar value.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import (
+    Conv2d,
+    Flatten,
+    Linear,
+    MaskedCategorical,
+    Module,
+    ReLU,
+    Sequential,
+    Tensor,
+    no_grad,
+)
+
+__all__ = ["ActorCritic"]
+
+
+class ActorCritic(Module):
+    """Shared CNN encoder with policy and value heads.
+
+    Parameters
+    ----------
+    obs_shape:
+        (channels, rows, cols) of the observation image.
+    n_actions:
+        Size of the flat action space (grid cells, x2 with rotation).
+    channels:
+        Conv widths of the three encoder layers.
+    rng:
+        Weight-init random source.
+    """
+
+    def __init__(
+        self,
+        obs_shape: tuple,
+        n_actions: int,
+        channels: tuple = (16, 32, 32),
+        rng: np.random.Generator = None,
+    ):
+        rng = rng or np.random.default_rng()
+        c, rows, cols = obs_shape
+        c1, c2, c3 = channels
+        self.encoder = Sequential(
+            Conv2d(c, c1, 3, stride=1, padding=1, rng=rng),
+            ReLU(),
+            Conv2d(c1, c2, 3, stride=2, padding=1, rng=rng),
+            ReLU(),
+            Conv2d(c2, c3, 3, stride=2, padding=1, rng=rng),
+            ReLU(),
+            Flatten(),
+        )
+        feat_rows = (rows + 1) // 2
+        feat_rows = (feat_rows + 1) // 2
+        feat_cols = (cols + 1) // 2
+        feat_cols = (feat_cols + 1) // 2
+        feature_dim = c3 * feat_rows * feat_cols
+        # Small-gain policy head -> near-uniform initial policy.
+        self.policy_head = Linear(feature_dim, n_actions, gain=0.01, rng=rng)
+        self.value_head = Linear(feature_dim, 1, gain=1.0, rng=rng)
+        self.obs_shape = tuple(obs_shape)
+        self.n_actions = n_actions
+
+    # ------------------------------------------------------------------
+
+    def evaluate(self, observations: np.ndarray, masks: np.ndarray):
+        """Differentiable forward pass for PPO updates.
+
+        Returns (MaskedCategorical, values tensor of shape (N,)).
+        """
+        obs = Tensor(np.asarray(observations, dtype=np.float64))
+        features = self.encoder(obs)
+        logits = self.policy_head(features)
+        values = self.value_head(features).reshape(-1)
+        dist = MaskedCategorical(logits, np.asarray(masks, dtype=bool))
+        return dist, values
+
+    def act(
+        self,
+        observation: np.ndarray,
+        mask: np.ndarray,
+        rng: np.random.Generator,
+        greedy: bool = False,
+    ) -> tuple:
+        """Rollout action selection (no graph recorded).
+
+        Returns (action, log_prob, value) as Python scalars.
+        """
+        with no_grad():
+            dist, values = self.evaluate(
+                observation[None, ...], np.asarray(mask, dtype=bool)[None, ...]
+            )
+            action = int(dist.mode()[0]) if greedy else int(dist.sample(rng)[0])
+            log_prob = float(dist.log_prob(np.array([action])).data[0])
+            value = float(values.data[0])
+        return action, log_prob, value

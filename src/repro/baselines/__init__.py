@@ -1,0 +1,26 @@
+"""Baseline floorplanners.
+
+* :class:`TAP25DPlacer` — the paper's SA comparison (thermal-aware,
+  continuous coordinates).
+* :class:`BStarFloorplanner` — the classic compacted-floorplan baseline
+  (paper reference [1]); area/WL-driven, thermally oblivious.
+* :func:`random_search` — best of N random legal placements.
+"""
+
+from repro.baselines.sa import SAConfig, SAResult, SimulatedAnnealing
+from repro.baselines.tap25d import TAP25DConfig, TAP25DPlacer, PlacerResult
+from repro.baselines.bstar import BStarConfig, BStarFloorplanner, BStarTree
+from repro.baselines.random_search import random_search
+
+__all__ = [
+    "SAConfig",
+    "SAResult",
+    "SimulatedAnnealing",
+    "TAP25DConfig",
+    "TAP25DPlacer",
+    "PlacerResult",
+    "BStarConfig",
+    "BStarFloorplanner",
+    "BStarTree",
+    "random_search",
+]

@@ -1,0 +1,164 @@
+"""Generic simulated-annealing engine.
+
+State representation, move proposal and cost evaluation are supplied by
+the caller; the engine owns the Metropolis acceptance rule, the
+geometric cooling schedule, automatic initial-temperature calibration,
+and budget accounting (iterations and/or wall clock).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SAConfig", "SAResult", "SimulatedAnnealing"]
+
+
+@dataclass(frozen=True)
+class SAConfig:
+    """Annealing schedule and budget.
+
+    Attributes
+    ----------
+    n_iterations:
+        Total proposal count (one evaluation per accepted proposal).
+    initial_temperature:
+        ``None`` auto-calibrates so early uphill moves are accepted with
+        ~50 % probability (standard practice; TAP-2.5D does the same).
+    final_temperature:
+        End of the geometric schedule.
+    time_limit:
+        Optional wall-clock cap in seconds (for time-matched comparisons).
+    seed:
+        RNG seed for proposals and acceptance.
+    """
+
+    n_iterations: int = 2000
+    initial_temperature: float | None = None
+    final_temperature: float = 1e-3
+    time_limit: float | None = None
+    seed: int = 0
+    calibration_samples: int = 20
+
+    def __post_init__(self) -> None:
+        if self.n_iterations < 1:
+            raise ValueError("n_iterations must be >= 1")
+        if self.final_temperature <= 0:
+            raise ValueError("final_temperature must be positive")
+
+
+@dataclass
+class SAResult:
+    """Outcome of one annealing run."""
+
+    best_state: object
+    best_cost: float
+    n_evaluations: int
+    n_accepted: int
+    elapsed: float
+    history: list = field(default_factory=list)
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.n_accepted / max(self.n_evaluations, 1)
+
+
+class SimulatedAnnealing:
+    """Metropolis annealer over caller-defined states.
+
+    Parameters
+    ----------
+    propose:
+        ``propose(state, rng, progress) -> new_state | None``; ``None``
+        means the move was infeasible and is skipped (not evaluated).
+    evaluate:
+        ``evaluate(state) -> cost`` (lower is better).
+    config:
+        Schedule and budget.
+    """
+
+    def __init__(self, propose, evaluate, config: SAConfig | None = None):
+        self.propose = propose
+        self.evaluate = evaluate
+        self.config = config or SAConfig()
+
+    def run(self, initial_state) -> SAResult:
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        start = time.perf_counter()
+
+        current = initial_state
+        current_cost = self.evaluate(current)
+        best, best_cost = current, current_cost
+        n_evaluations = 1
+        n_accepted = 0
+        history = []
+
+        t0 = cfg.initial_temperature
+        if t0 is None:
+            t0, calibration_evals = self._calibrate(current, current_cost, rng)
+            n_evaluations += calibration_evals
+        cooling = (cfg.final_temperature / t0) ** (1.0 / max(cfg.n_iterations, 1))
+
+        temperature = t0
+        for iteration in range(cfg.n_iterations):
+            if (
+                cfg.time_limit is not None
+                and time.perf_counter() - start > cfg.time_limit
+            ):
+                break
+            progress = iteration / cfg.n_iterations
+            candidate = self.propose(current, rng, progress)
+            temperature *= cooling
+            if candidate is None:
+                continue
+            candidate_cost = self.evaluate(candidate)
+            n_evaluations += 1
+            delta = candidate_cost - current_cost
+            if delta <= 0 or rng.random() < math.exp(
+                -delta / max(temperature, 1e-12)
+            ):
+                current, current_cost = candidate, candidate_cost
+                n_accepted += 1
+                if current_cost < best_cost:
+                    best, best_cost = current, current_cost
+            history.append(
+                {
+                    "iteration": iteration,
+                    "temperature": temperature,
+                    "current_cost": current_cost,
+                    "best_cost": best_cost,
+                }
+            )
+
+        return SAResult(
+            best_state=best,
+            best_cost=best_cost,
+            n_evaluations=n_evaluations,
+            n_accepted=n_accepted,
+            elapsed=time.perf_counter() - start,
+            history=history,
+        )
+
+    def _calibrate(self, state, cost, rng: np.random.Generator) -> tuple:
+        """Initial temperature from the uphill-move cost spread.
+
+        Returns (temperature, evaluations spent).
+        """
+        deltas = []
+        evaluations = 0
+        for _ in range(self.config.calibration_samples):
+            candidate = self.propose(state, rng, 0.0)
+            if candidate is None:
+                continue
+            delta = self.evaluate(candidate) - cost
+            evaluations += 1
+            if delta > 0:
+                deltas.append(delta)
+        if not deltas:
+            return 1.0, evaluations
+        # Accept an average uphill move with probability ~0.5 initially.
+        return float(np.mean(deltas) / math.log(2.0)), evaluations

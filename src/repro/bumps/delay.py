@@ -1,0 +1,115 @@
+"""Interconnect delay estimation for inter-chiplet links.
+
+The paper's introduction names interconnect delay as one of the three
+early-floorplanning concerns (with bump assignment and heat).  This
+module estimates per-net RC delays from the assigned wirelengths using
+an Elmore model with interposer-wire constants, so floorplans can be
+checked against a link-latency budget.
+
+Default constants describe a typical silicon-interposer redistribution
+wire (65 nm-class BEOL): 0.8 ohm/mm and 0.2 pF/mm, plus a driver
+resistance and receiver load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bumps.assign import BumpAssignment
+
+__all__ = ["WireTechnology", "NetDelay", "estimate_delays", "worst_net_delay"]
+
+
+@dataclass(frozen=True)
+class WireTechnology:
+    """Electrical constants of the interposer routing layer.
+
+    Attributes
+    ----------
+    resistance_per_mm:
+        Wire resistance in ohm/mm.
+    capacitance_per_mm:
+        Wire capacitance in pF/mm.
+    driver_resistance:
+        Output resistance of the TX bump driver in ohm.
+    load_capacitance:
+        RX pin load in pF.
+    """
+
+    resistance_per_mm: float = 0.8
+    capacitance_per_mm: float = 0.2
+    driver_resistance: float = 25.0
+    load_capacitance: float = 0.05
+
+    def __post_init__(self) -> None:
+        if min(
+            self.resistance_per_mm,
+            self.capacitance_per_mm,
+            self.driver_resistance,
+            self.load_capacitance,
+        ) < 0:
+            raise ValueError("technology constants must be non-negative")
+
+    def elmore_delay_ns(self, length_mm: float) -> float:
+        """50 % Elmore delay of a point-to-point wire, in ns.
+
+        ``Rd*(Cw+Cl) + Rw*(Cw/2 + Cl)`` with distributed wire RC.
+        """
+        if length_mm < 0:
+            raise ValueError("length must be non-negative")
+        r_wire = self.resistance_per_mm * length_mm
+        c_wire = self.capacitance_per_mm * length_mm
+        delay_ps = 0.69 * (
+            self.driver_resistance * (c_wire + self.load_capacitance)
+            + r_wire * (c_wire / 2.0 + self.load_capacitance)
+        )
+        return delay_ps / 1000.0  # pF*ohm = ps
+
+
+@dataclass(frozen=True)
+class NetDelay:
+    """Delay summary of one assigned net."""
+
+    net_name: str
+    src: str
+    dst: str
+    max_length_mm: float
+    max_delay_ns: float
+    mean_delay_ns: float
+
+
+def estimate_delays(
+    assignment: BumpAssignment, technology: WireTechnology | None = None
+) -> list:
+    """Per-net Elmore delays from a microbump assignment.
+
+    The longest wire of a bundle sets the link's latency (all lanes of a
+    parallel bus are retimed together), so ``max_delay_ns`` is the number
+    a designer checks against the budget.
+    """
+    technology = technology or WireTechnology()
+    results = []
+    for net in assignment.nets:
+        lengths = abs(net.pairs[:, 0, :] - net.pairs[:, 1, :]).sum(axis=1)
+        delays = [technology.elmore_delay_ns(float(length)) for length in lengths]
+        results.append(
+            NetDelay(
+                net_name=net.net_name,
+                src=net.src,
+                dst=net.dst,
+                max_length_mm=float(lengths.max()),
+                max_delay_ns=max(delays),
+                mean_delay_ns=sum(delays) / len(delays),
+            )
+        )
+    return results
+
+
+def worst_net_delay(
+    assignment: BumpAssignment, technology: WireTechnology | None = None
+) -> NetDelay:
+    """The slowest link of the floorplan."""
+    delays = estimate_delays(assignment, technology)
+    if not delays:
+        raise ValueError("assignment has no nets")
+    return max(delays, key=lambda d: d.max_delay_ns)

@@ -1,0 +1,93 @@
+"""Candidate microbump sites on a chiplet's perimeter.
+
+Die-to-die signals escape through microbumps near the die edge (the
+interior is taken by power/ground).  Sites are generated as concentric
+perimeter rings with a given pitch, innermost ring first, in interposer
+coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry import Rect
+
+__all__ = ["BumpSite", "perimeter_sites"]
+
+
+@dataclass(frozen=True)
+class BumpSite:
+    """One candidate bump location on a die.
+
+    Attributes
+    ----------
+    x, y:
+        Position in interposer coordinates (mm).
+    edge:
+        Which die edge the site belongs to: ``"n" | "e" | "s" | "w"``.
+    ring:
+        0 for the outermost ring, increasing inward.
+    """
+
+    x: float
+    y: float
+    edge: str
+    ring: int
+
+
+def perimeter_sites(
+    rect: Rect,
+    pitch: float = 0.4,
+    rings: int = 2,
+    edge_margin: float = 0.15,
+) -> list:
+    """Generate bump sites along the perimeter of ``rect``.
+
+    Parameters
+    ----------
+    rect:
+        Die footprint in interposer coordinates.
+    pitch:
+        Site spacing along an edge in mm (also the ring-to-ring spacing).
+    rings:
+        Number of concentric rings.
+    edge_margin:
+        Distance from the die edge to the outermost ring, in mm.
+
+    Returns
+    -------
+    list of :class:`BumpSite`, outermost ring first, each ring ordered
+    N, E, S, W and positions ascending along the edge.  Corner positions
+    are excluded from the vertical edges to avoid duplicates.
+    """
+    if pitch <= 0:
+        raise ValueError("pitch must be positive")
+    if rings < 1:
+        raise ValueError("need at least one ring")
+    sites = []
+    for ring in range(rings):
+        inset = edge_margin + ring * pitch
+        x1, x2 = rect.x + inset, rect.x2 - inset
+        y1, y2 = rect.y + inset, rect.y2 - inset
+        if x1 >= x2 or y1 >= y2:
+            break  # die too small for this ring
+        xs = _positions(x1, x2, pitch)
+        ys = _positions(y1, y2, pitch)
+        for x in xs:
+            sites.append(BumpSite(x, y2, "n", ring))
+            sites.append(BumpSite(x, y1, "s", ring))
+        for y in ys[1:-1] if len(ys) > 2 else []:
+            sites.append(BumpSite(x2, y, "e", ring))
+            sites.append(BumpSite(x1, y, "w", ring))
+    return sites
+
+
+def _positions(lo: float, hi: float, pitch: float) -> np.ndarray:
+    """Evenly pitched positions in [lo, hi], centered in the span."""
+    span = hi - lo
+    count = max(int(span / pitch) + 1, 1)
+    used = (count - 1) * pitch
+    start = lo + (span - used) / 2.0
+    return start + np.arange(count) * pitch

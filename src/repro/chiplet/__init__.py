@@ -1,0 +1,32 @@
+"""Chiplet-system data model.
+
+A :class:`ChipletSystem` bundles the interposer, the chiplets to place and
+the inter-chiplet netlist; a :class:`Placement` maps chiplet names to
+positions.  These objects are shared by the environment, the thermal
+evaluators, the bump assigner and the baselines.
+"""
+
+from repro.chiplet.chiplet import Chiplet
+from repro.chiplet.netlist import Net
+from repro.chiplet.system import ChipletSystem, Interposer, Placement
+from repro.chiplet.io import system_to_dict, system_from_dict, save_system, load_system
+from repro.chiplet.validate import (
+    ValidationError,
+    validate_placement,
+    validate_system,
+)
+
+__all__ = [
+    "Chiplet",
+    "Net",
+    "ChipletSystem",
+    "Interposer",
+    "Placement",
+    "system_to_dict",
+    "system_from_dict",
+    "save_system",
+    "load_system",
+    "ValidationError",
+    "validate_placement",
+    "validate_system",
+]

@@ -1,0 +1,55 @@
+"""Inter-chiplet connectivity.
+
+A net is a bundle of ``wires`` point-to-point connections between two
+chiplets (2.5D links are overwhelmingly die-to-die parallel buses, which
+is also how TAP-2.5D models them).  The microbump assigner expands a net
+into individual bump pairs; quick estimators use ``wires`` as a weight on
+the center-to-center distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Net"]
+
+
+@dataclass(frozen=True)
+class Net:
+    """A weighted two-pin bundle between chiplets ``src`` and ``dst``.
+
+    Attributes
+    ----------
+    src, dst:
+        Names of the connected chiplets (order carries no meaning).
+    wires:
+        Number of physical wires in the bundle (>= 1).
+    name:
+        Optional label for reports.
+    """
+
+    src: str
+    dst: str
+    wires: int = 1
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"net connects {self.src!r} to itself")
+        if self.wires < 1:
+            raise ValueError("net needs at least one wire")
+
+    def endpoints(self) -> tuple:
+        """The two chiplet names, in declaration order."""
+        return (self.src, self.dst)
+
+    def other(self, chiplet_name: str) -> str:
+        """The endpoint that is not ``chiplet_name``."""
+        if chiplet_name == self.src:
+            return self.dst
+        if chiplet_name == self.dst:
+            return self.src
+        raise ValueError(f"{chiplet_name!r} is not an endpoint of this net")
+
+    def touches(self, chiplet_name: str) -> bool:
+        return chiplet_name in (self.src, self.dst)

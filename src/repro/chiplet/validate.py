@@ -1,0 +1,79 @@
+"""Design-rule validation for systems and placements.
+
+The environment's action mask *prevents* illegal states during RL
+placement; these checkers *verify* them, and are what tests and the SA
+baseline (whose moves can propose anything) rely on.
+"""
+
+from __future__ import annotations
+
+from repro.chiplet.system import ChipletSystem, Placement
+
+__all__ = ["ValidationError", "validate_system", "validate_placement"]
+
+
+class ValidationError(ValueError):
+    """A system or placement violates a structural or design rule."""
+
+
+def validate_system(system: ChipletSystem) -> None:
+    """Check that a system is placeable at all.
+
+    Raises
+    ------
+    ValidationError
+        If any chiplet cannot fit on the interposer in either orientation,
+        or the summed chiplet area exceeds the interposer area.
+    """
+    interposer = system.interposer
+    for chiplet in system.chiplets:
+        fits_upright = (
+            chiplet.width <= interposer.width and chiplet.height <= interposer.height
+        )
+        fits_rotated = (
+            chiplet.height <= interposer.width and chiplet.width <= interposer.height
+        )
+        if not (fits_upright or fits_rotated):
+            raise ValidationError(
+                f"chiplet {chiplet.name!r} ({chiplet.width}x{chiplet.height} mm) "
+                f"cannot fit on interposer {interposer.width}x{interposer.height} mm"
+            )
+    if system.total_chiplet_area > interposer.area:
+        raise ValidationError(
+            f"system {system.name!r} over-packs the interposer: "
+            f"{system.total_chiplet_area:.1f} mm^2 of chiplets on "
+            f"{interposer.area:.1f} mm^2"
+        )
+
+
+def placement_violations(placement: Placement, require_complete: bool = True) -> list:
+    """Return a list of human-readable violations (empty when legal)."""
+    system = placement.system
+    interposer = system.interposer
+    problems = []
+    if require_complete and not placement.is_complete:
+        missing = set(system.chiplet_names) - set(placement.placed_names)
+        problems.append(f"unplaced chiplets: {sorted(missing)}")
+    rects = placement.footprints()
+    bounds = interposer.bounds
+    for name, rect in rects.items():
+        if not bounds.contains_rect(rect):
+            problems.append(f"{name} out of interposer bounds: {rect}")
+    names = list(rects)
+    for i, a in enumerate(names):
+        for b in names[i + 1 :]:
+            if rects[a].overlaps(rects[b]):
+                problems.append(f"{a} overlaps {b}")
+            elif rects[a].gap(rects[b]) < interposer.min_spacing - 1e-9:
+                problems.append(
+                    f"{a} and {b} closer than min_spacing="
+                    f"{interposer.min_spacing} mm"
+                )
+    return problems
+
+
+def validate_placement(placement: Placement, require_complete: bool = True) -> None:
+    """Raise :class:`ValidationError` when the placement breaks any rule."""
+    problems = placement_violations(placement, require_complete=require_complete)
+    if problems:
+        raise ValidationError("; ".join(problems))

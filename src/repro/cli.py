@@ -1,0 +1,140 @@
+"""Command-line interface: ``rlplanner <subcommand>``.
+
+Subcommands map one-to-one onto the experiment harness:
+
+* ``table1`` / ``table2`` / ``table3`` / ``ablations`` — regenerate a
+  paper table at a chosen budget scale
+* ``train`` — train RLPlanner on one benchmark and print the floorplan
+* ``sa`` — run the TAP-2.5D baseline on one benchmark
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import (
+    ExperimentBudget,
+    run_ablations,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.experiments.report import format_table, save_results
+from repro.experiments.runner import run_all_methods
+from repro.systems import benchmark_names, get_benchmark
+
+__all__ = ["main"]
+
+
+def _budget_from_args(args) -> ExperimentBudget:
+    if args.paper_scale:
+        return ExperimentBudget.paper_scale()
+    return ExperimentBudget(
+        rl_epochs=args.epochs,
+        episodes_per_epoch=args.episodes,
+        grid_size=args.grid,
+        sa_iterations_hotspot=args.sa_iterations,
+        seed=args.seed,
+    )
+
+
+def _add_budget_args(parser) -> None:
+    parser.add_argument("--epochs", type=int, default=30)
+    parser.add_argument("--episodes", type=int, default=8)
+    parser.add_argument("--grid", type=int, default=24)
+    parser.add_argument("--sa-iterations", type=int, default=250)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="use the paper's full budgets (hours of CPU time)",
+    )
+    parser.add_argument("--output", type=str, default=None, help="JSON output path")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="rlplanner",
+        description="RLPlanner reproduction (DATE 2024)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for table in ("table1", "table3", "ablations"):
+        p = sub.add_parser(table, help=f"regenerate {table}")
+        _add_budget_args(p)
+
+    p2 = sub.add_parser("table2", help="fast thermal model accuracy/speed")
+    p2.add_argument("--systems", type=int, default=300)
+    p2.add_argument("--seed", type=int, default=7)
+    p2.add_argument("--output", type=str, default=None)
+
+    pt = sub.add_parser("train", help="train RLPlanner on one benchmark")
+    pt.add_argument("benchmark", choices=benchmark_names())
+    pt.add_argument("--rnd", action="store_true", help="enable the RND bonus")
+    _add_budget_args(pt)
+
+    ps = sub.add_parser("sa", help="run the TAP-2.5D baseline")
+    ps.add_argument("benchmark", choices=benchmark_names())
+    ps.add_argument(
+        "--thermal",
+        choices=("fast", "hotspot"),
+        default="hotspot",
+        help="thermal evaluator inside the annealer",
+    )
+    _add_budget_args(ps)
+
+    args = parser.parse_args(argv)
+
+    if args.command == "table1":
+        results = run_table1(_budget_from_args(args))
+    elif args.command == "table3":
+        results = run_table3(_budget_from_args(args))
+    elif args.command == "ablations":
+        results = run_ablations(_budget_from_args(args))
+    elif args.command == "table2":
+        table2 = run_table2(n_systems=args.systems, seed=args.seed)
+        print(table2.format())
+        if args.output:
+            import json
+            from pathlib import Path
+
+            Path(args.output).write_text(
+                json.dumps(
+                    {
+                        "metrics": table2.metrics,
+                        "speedup": table2.speedup,
+                        "n_systems": table2.n_systems,
+                    },
+                    indent=2,
+                )
+            )
+        return 0
+    elif args.command == "train":
+        spec = get_benchmark(args.benchmark)
+        budget = _budget_from_args(args)
+        method = "RLPlanner(RND)" if args.rnd else "RLPlanner"
+        results = run_all_methods(spec, budget, methods=(method,))
+        print(format_table(results))
+        return 0
+    elif args.command == "sa":
+        spec = get_benchmark(args.benchmark)
+        budget = _budget_from_args(args)
+        method = (
+            "TAP-2.5D(HotSpot)"
+            if args.thermal == "hotspot"
+            else "TAP-2.5D*(FastThermal)"
+        )
+        results = run_all_methods(spec, budget, methods=(method,))
+        print(format_table(results))
+        return 0
+    else:  # pragma: no cover - argparse guards this
+        parser.error(f"unknown command {args.command}")
+
+    if getattr(args, "output", None):
+        save_results(results, args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

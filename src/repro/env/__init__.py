@@ -1,0 +1,13 @@
+"""Sequential chiplet-placement MDP."""
+
+from repro.env.floorplan_env import EnvConfig, FloorplanEnv, StepResult
+from repro.env.mask import feasible_cells
+from repro.env.state import ObservationBuilder
+
+__all__ = [
+    "EnvConfig",
+    "FloorplanEnv",
+    "StepResult",
+    "feasible_cells",
+    "ObservationBuilder",
+]

@@ -1,0 +1,212 @@
+"""The sequential-placement environment (paper Fig. 1's left block).
+
+Chiplets are placed one per step, largest first.  The action is the grid
+cell receiving the current chiplet's lower-left corner (optionally x2
+for 90-degree rotation).  Infeasible cells are masked.  The reward is
+terminal: after the last placement the reward calculator performs
+microbump assignment and thermal analysis.
+
+A *deadlock* (no feasible cell for the current die) ends the episode
+with a configurable penalty; the mask makes this rare but tight packings
+can still paint themselves into a corner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chiplet import ChipletSystem, Placement
+from repro.env.mask import feasible_cells
+from repro.env.state import ObservationBuilder
+from repro.geometry import PlacementGrid
+from repro.reward import RewardCalculator
+
+__all__ = ["EnvConfig", "StepResult", "FloorplanEnv"]
+
+
+@dataclass(frozen=True)
+class EnvConfig:
+    """Environment parameters.
+
+    Attributes
+    ----------
+    grid_size:
+        Placement grid resolution (``grid_size x grid_size`` actions).
+    allow_rotation:
+        Doubles the action space with 90-degree-rotated placements.
+    deadlock_penalty:
+        Terminal reward when the mask empties mid-episode; should sit
+        well below any achievable legal reward.
+    """
+
+    grid_size: int = 32
+    allow_rotation: bool = False
+    deadlock_penalty: float = -100.0
+
+    def __post_init__(self) -> None:
+        if self.grid_size < 2:
+            raise ValueError("grid_size must be at least 2")
+
+
+@dataclass
+class StepResult:
+    """Return value of :meth:`FloorplanEnv.step`."""
+
+    observation: np.ndarray | None
+    mask: np.ndarray | None
+    reward: float
+    done: bool
+    info: dict = field(default_factory=dict)
+
+
+class FloorplanEnv:
+    """Sequential chiplet-placement MDP for one system.
+
+    Parameters
+    ----------
+    system:
+        The design to floorplan.
+    reward_calculator:
+        Terminal evaluator (bump assignment + thermal + reward).
+    config:
+        Grid resolution and episode options.
+    """
+
+    def __init__(
+        self,
+        system: ChipletSystem,
+        reward_calculator: RewardCalculator,
+        config: EnvConfig | None = None,
+    ):
+        self.system = system
+        self.reward_calculator = reward_calculator
+        self.config = config or EnvConfig()
+        interposer = system.interposer
+        self.grid = PlacementGrid(
+            interposer.width,
+            interposer.height,
+            self.config.grid_size,
+            self.config.grid_size,
+        )
+        self.observation_builder = ObservationBuilder(system, self.grid)
+        self.order = system.placement_order()
+        self.placement: Placement | None = None
+        self._step_index = 0
+        self.episode_count = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def n_actions(self) -> int:
+        base = self.grid.n_cells
+        return base * 2 if self.config.allow_rotation else base
+
+    @property
+    def observation_shape(self) -> tuple:
+        return self.observation_builder.shape
+
+    @property
+    def episode_length(self) -> int:
+        return self.system.n_chiplets
+
+    @property
+    def current_chiplet_name(self) -> str:
+        return self.order[self._step_index]
+
+    def reset(self) -> tuple:
+        """Start a new episode; returns (observation, action_mask)."""
+        self.placement = Placement(self.system)
+        self._step_index = 0
+        self.episode_count += 1
+        return self._observe()
+
+    def step(self, action: int) -> StepResult:
+        """Place the current chiplet at the decoded action cell."""
+        if self.placement is None:
+            raise RuntimeError("call reset() before step()")
+        if not 0 <= action < self.n_actions:
+            raise ValueError(f"action {action} out of range")
+        mask = self._current_mask()
+        if not mask[action]:
+            raise ValueError(f"action {action} is masked as infeasible")
+
+        cell_index, rotated = self._decode(action)
+        row, col = self.grid.unflatten(cell_index)
+        x, y = self.grid.cell_origin(row, col)
+        name = self.current_chiplet_name
+        self.placement.place(name, x, y, rotated=rotated)
+        self._step_index += 1
+
+        if self._step_index == self.system.n_chiplets:
+            breakdown = self.reward_calculator.evaluate(self.placement)
+            return StepResult(
+                observation=None,
+                mask=None,
+                reward=breakdown.reward,
+                done=True,
+                info={
+                    "breakdown": breakdown,
+                    "placement": self.placement.copy(),
+                },
+            )
+
+        observation, next_mask = self._observe()
+        if not next_mask.any():
+            # The remaining die cannot be placed anywhere: deadlock.
+            return StepResult(
+                observation=None,
+                mask=None,
+                reward=self.config.deadlock_penalty,
+                done=True,
+                info={
+                    "deadlock": True,
+                    "unplaceable": self.current_chiplet_name,
+                    "placement": self.placement.copy(),
+                },
+            )
+        return StepResult(
+            observation=observation,
+            mask=next_mask,
+            reward=0.0,
+            done=False,
+            info={},
+        )
+
+    # ------------------------------------------------------------------
+
+    def _decode(self, action: int) -> tuple:
+        """Action id -> (cell index, rotated)."""
+        if self.config.allow_rotation and action >= self.grid.n_cells:
+            return action - self.grid.n_cells, True
+        return action, False
+
+    def _observe(self) -> tuple:
+        observation = self.observation_builder.build(
+            self.placement, self.current_chiplet_name
+        )
+        return observation, self._current_mask()
+
+    def _current_mask(self) -> np.ndarray:
+        """Flat feasibility mask for the current chiplet."""
+        chiplet = self.system.chiplet(self.current_chiplet_name)
+        placed = [
+            self.placement.footprint(name)
+            for name in self.placement.placed_names
+        ]
+        spacing = self.system.interposer.min_spacing
+        upright = feasible_cells(
+            self.grid, chiplet.width, chiplet.height, placed, spacing
+        ).ravel()
+        if not self.config.allow_rotation:
+            return upright
+        if chiplet.rotatable and chiplet.width != chiplet.height:
+            rotated = feasible_cells(
+                self.grid, chiplet.height, chiplet.width, placed, spacing
+            ).ravel()
+        elif chiplet.rotatable:
+            rotated = upright.copy()
+        else:
+            rotated = np.zeros_like(upright)
+        return np.concatenate([upright, rotated])

@@ -1,0 +1,68 @@
+"""Observation encoding: the state image fed to the CNN agent.
+
+Channels (all on the placement grid, values in [0, 1]):
+
+0. occupancy  — cell coverage of the placed dies
+1. power      — power density of placed dies, normalized by the system max
+2. connect    — coverage of placed dies that share a net with the die
+                being placed, weighted by relative wire count
+3. width      — constant: current die width / interposer width
+4. height     — constant: current die height / interposer height
+5. density    — constant: current die power density / system max
+6. progress   — constant: fraction of dies already placed
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chiplet import ChipletSystem, Placement
+from repro.geometry import PlacementGrid
+
+__all__ = ["ObservationBuilder"]
+
+
+class ObservationBuilder:
+    """Builds (C, rows, cols) observation tensors for one system."""
+
+    N_CHANNELS = 7
+
+    def __init__(self, system: ChipletSystem, grid: PlacementGrid):
+        self.system = system
+        self.grid = grid
+        self._max_density = max(c.power_density for c in system.chiplets)
+        self._max_wires = max((n.wires for n in system.nets), default=1)
+
+    @property
+    def shape(self) -> tuple:
+        return (self.N_CHANNELS, self.grid.rows, self.grid.cols)
+
+    def build(self, placement: Placement, current_name: str) -> np.ndarray:
+        """Observation for choosing where to put ``current_name``."""
+        grid = self.grid
+        obs = np.zeros(self.shape, dtype=np.float64)
+        current = self.system.chiplet(current_name)
+
+        # Wire counts between the current die and every placed die.
+        wires_to_current = {}
+        for net in self.system.nets_of(current_name):
+            other = net.other(current_name)
+            wires_to_current[other] = wires_to_current.get(other, 0) + net.wires
+
+        for name in placement.placed_names:
+            rect = placement.footprint(name)
+            cover = grid.coverage(rect)
+            obs[0] = np.maximum(obs[0], cover)
+            chiplet = self.system.chiplet(name)
+            obs[1] = np.maximum(
+                obs[1], cover * (chiplet.power_density / self._max_density)
+            )
+            wires = wires_to_current.get(name, 0)
+            if wires:
+                obs[2] = np.maximum(obs[2], cover * (wires / self._max_wires))
+
+        obs[3] = current.width / grid.width
+        obs[4] = current.height / grid.height
+        obs[5] = current.power_density / self._max_density
+        obs[6] = len(placement.placed_names) / self.system.n_chiplets
+        return obs

@@ -1,0 +1,25 @@
+"""Experiment harness: one module per paper table, plus ablations."""
+
+from repro.experiments.report import MethodResult, format_table, save_results
+from repro.experiments.runner import (
+    ExperimentBudget,
+    build_evaluators,
+    run_all_methods,
+)
+from repro.experiments.table1 import run_table1
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import run_table3
+from repro.experiments.ablations import run_ablations
+
+__all__ = [
+    "MethodResult",
+    "format_table",
+    "save_results",
+    "ExperimentBudget",
+    "build_evaluators",
+    "run_all_methods",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_ablations",
+]

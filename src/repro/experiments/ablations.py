@@ -1,0 +1,123 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* RND bonus on/off (also visible in Tables I/III)
+* thermal evaluator inside the RL loop: fast model vs grid solver
+* wirelength evaluator: bump assignment (greedy / hungarian) vs estimate
+* placement grid resolution
+
+Each ablation runs on synthetic case 1 with a small budget; results are
+MethodResult rows whose ``method`` encodes the variant.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.agent import RLPlannerTrainer, TrainerConfig
+from repro.bumps import BumpAssigner
+from repro.env import EnvConfig, FloorplanEnv
+from repro.experiments.report import MethodResult
+from repro.experiments.runner import ExperimentBudget, build_evaluators
+from repro.reward import RewardCalculator, RewardConfig
+from repro.rl import RNDConfig
+from repro.systems import get_benchmark
+from repro.utils import get_logger
+
+__all__ = ["run_ablations"]
+
+_logger = get_logger("experiments.ablations")
+
+
+def _train(spec, reward_calculator, budget, label, use_rnd=False, grid=None):
+    env = FloorplanEnv(
+        spec.system,
+        reward_calculator,
+        EnvConfig(grid_size=grid or budget.grid_size),
+    )
+    trainer = RLPlannerTrainer(
+        env,
+        TrainerConfig(
+            epochs=budget.rl_epochs,
+            episodes_per_epoch=budget.episodes_per_epoch,
+            seed=budget.seed,
+            use_rnd=use_rnd,
+            rnd=RNDConfig(bonus_scale=0.5),
+            log_every=0,
+        ),
+    )
+    result = trainer.train()
+    breakdown = result.best_breakdown
+    return MethodResult(
+        system=spec.name,
+        method=label,
+        reward=breakdown.reward,
+        wirelength=breakdown.wirelength,
+        temperature_c=breakdown.max_temperature_c,
+        runtime_s=result.elapsed,
+        extra={"epochs": result.epochs_run},
+    )
+
+
+def run_ablations(
+    budget: ExperimentBudget | None = None, cache_dir=None, verbose: bool = True
+) -> list:
+    """Run all ablation variants on synthetic case 1."""
+    budget = budget or ExperimentBudget(rl_epochs=15)
+    spec = get_benchmark("synthetic1")
+    evaluators = build_evaluators(spec, budget, cache_dir)
+    results = []
+
+    # --- RND on/off -----------------------------------------------------
+    results.append(
+        _train(spec, evaluators["reward_fast"], budget, "rl/fast/base")
+    )
+    results.append(
+        _train(spec, evaluators["reward_fast"], budget, "rl/fast/rnd", use_rnd=True)
+    )
+
+    # --- thermal evaluator inside the loop -------------------------------
+    # The whole point of the fast model: the solver-in-the-loop variant
+    # gets the same *epoch* budget and pays the wall-clock price.
+    results.append(
+        _train(spec, evaluators["reward_solver"], budget, "rl/solver/base")
+    )
+
+    # --- wirelength evaluator --------------------------------------------
+    estimate_reward = RewardCalculator(
+        evaluators["fast_model"],
+        RewardConfig(
+            lambda_wl=spec.reward_config.lambda_wl,
+            t_limit=spec.reward_config.t_limit,
+            alpha=spec.reward_config.alpha,
+            use_bump_assignment=False,
+        ),
+    )
+    results.append(
+        _train(spec, estimate_reward, budget, "rl/fast/wl-estimate")
+    )
+    hungarian_reward = RewardCalculator(
+        evaluators["fast_model"],
+        spec.reward_config,
+        assigner=BumpAssigner(wire_group_size=8, method="hungarian"),
+    )
+    results.append(
+        _train(spec, hungarian_reward, budget, "rl/fast/wl-hungarian")
+    )
+
+    # --- grid resolution --------------------------------------------------
+    for grid in (16, 32):
+        results.append(
+            _train(
+                spec,
+                evaluators["reward_fast"],
+                budget,
+                f"rl/fast/grid{grid}",
+                grid=grid,
+            )
+        )
+
+    if verbose:
+        from repro.experiments.report import format_table
+
+        print(format_table(results, title="Ablations (synthetic case 1)"))
+    return results

@@ -1,0 +1,58 @@
+"""Training-curve artifacts: reward vs epoch as CSV and ASCII plot.
+
+The paper shows no learning curves, but they are the natural diagnostic
+for the RL-vs-SA comparison: this module renders a trainer's history (or
+an SA run's) so EXPERIMENTS.md can show *how* the budgets were spent.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+__all__ = ["history_to_csv", "ascii_curve"]
+
+
+def history_to_csv(history: list, path, fields: tuple = None) -> None:
+    """Write a trainer history (list of dicts) to CSV."""
+    if not history:
+        raise ValueError("history is empty")
+    if fields is None:
+        fields = tuple(
+            k for k in history[0] if isinstance(history[0][k], (int, float))
+        )
+    lines = [",".join(fields)]
+    for entry in history:
+        lines.append(",".join(str(entry.get(f, "")) for f in fields))
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def ascii_curve(
+    values,
+    width: int = 70,
+    height: int = 14,
+    label: str = "",
+) -> str:
+    """Plot a numeric series as ASCII (epochs on x, value on y)."""
+    values = [float(v) for v in values]
+    if len(values) < 2:
+        raise ValueError("need at least two points")
+    lo, hi = min(values), max(values)
+    span = max(hi - lo, 1e-12)
+    # Downsample/upsample to the plot width.
+    xs = [
+        values[min(int(i * len(values) / width), len(values) - 1)]
+        for i in range(width)
+    ]
+    canvas = [[" "] * width for _ in range(height)]
+    for col, value in enumerate(xs):
+        row = int((value - lo) / span * (height - 1))
+        canvas[height - 1 - row][col] = "*"
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(f"{hi:>10.3f} +" + "-" * width + "+")
+    for row in canvas:
+        lines.append(" " * 11 + "|" + "".join(row) + "|")
+    lines.append(f"{lo:>10.3f} +" + "-" * width + "+")
+    lines.append(" " * 12 + f"epoch 0 .. {len(values) - 1}")
+    return "\n".join(lines)

@@ -1,0 +1,72 @@
+"""Result containers and plain-text table rendering.
+
+The harness prints tables in the same row/column layout as the paper so
+measured-vs-published comparisons are one glance.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = ["MethodResult", "format_table", "format_comparison", "save_results"]
+
+
+@dataclass
+class MethodResult:
+    """One method's outcome on one system (a Table I cell group)."""
+
+    system: str
+    method: str
+    reward: float
+    wirelength: float
+    temperature_c: float
+    runtime_s: float
+    extra: dict = field(default_factory=dict)
+
+
+def format_table(results: list, title: str = "") -> str:
+    """Render MethodResults as a fixed-width table grouped by system."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = (
+        f"{'System':<14} {'Method':<26} {'Reward':>12} "
+        f"{'WL (mm)':>12} {'Temp (C)':>10} {'Runtime (s)':>12}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for res in results:
+        lines.append(
+            f"{res.system:<14} {res.method:<26} {res.reward:>12.4f} "
+            f"{res.wirelength:>12.0f} {res.temperature_c:>10.2f} "
+            f"{res.runtime_s:>12.1f}"
+        )
+    return "\n".join(lines)
+
+
+def format_comparison(results: list, paper_reference: dict, system: str) -> str:
+    """Measured-vs-paper block for one system."""
+    lines = [f"{system}: measured vs paper"]
+    for res in results:
+        if res.system != system:
+            continue
+        ref = paper_reference.get(res.method, {})
+        ref_reward = ref.get("reward")
+        ref_str = f"{ref_reward:.4f}" if ref_reward is not None else "n/a"
+        lines.append(
+            f"  {res.method:<26} reward {res.reward:>10.4f}  (paper {ref_str})"
+        )
+    return "\n".join(lines)
+
+
+def save_results(results: list, path, metadata: dict | None = None) -> None:
+    """Dump results (+ run metadata) as JSON for EXPERIMENTS.md updates."""
+    payload = {
+        "metadata": metadata or {},
+        "results": [asdict(r) for r in results],
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, default=str))

@@ -1,0 +1,221 @@
+"""Shared machinery for the Table I / Table III comparisons.
+
+Four methods, as in the paper:
+
+* ``RLPlanner``          — PPO agent, fast thermal model in the loop
+* ``RLPlanner(RND)``     — same, plus the RND exploration bonus
+* ``TAP-2.5D(HotSpot)``  — SA baseline evaluating with the grid solver
+* ``TAP-2.5D*(FastThermal)`` — SA baseline on the fast thermal model,
+  wall-clock-matched to the RL training budget (the paper's asterisk)
+
+Budgets are scaled-down by default so the whole suite runs in minutes;
+``ExperimentBudget.paper_scale()`` restores the paper's 600-epoch regime.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.agent import RLPlannerTrainer, TrainerConfig
+from repro.baselines import TAP25DConfig, TAP25DPlacer
+from repro.env import EnvConfig, FloorplanEnv
+from repro.experiments.report import MethodResult
+from repro.reward import RewardCalculator
+from repro.rl import PPOConfig, RNDConfig
+from repro.systems import BenchmarkSpec
+from repro.thermal import FastThermalModel, GridThermalSolver
+from repro.thermal.characterize import load_or_characterize
+from repro.utils import get_logger
+
+__all__ = ["ExperimentBudget", "build_evaluators", "run_all_methods"]
+
+_logger = get_logger("experiments.runner")
+
+DEFAULT_CACHE_DIR = Path(".cache/thermal_tables")
+
+
+@dataclass(frozen=True)
+class ExperimentBudget:
+    """Knobs that trade fidelity for runtime.
+
+    The defaults regenerate table *shapes* in minutes on a laptop CPU.
+    """
+
+    rl_epochs: int = 30
+    episodes_per_epoch: int = 8
+    grid_size: int = 24
+    sa_iterations_hotspot: int = 250
+    sa_time_matched: bool = True
+    position_samples: tuple = (7, 7)
+    seed: int = 0
+
+    @classmethod
+    def paper_scale(cls) -> "ExperimentBudget":
+        """The paper's regime (hours of CPU time)."""
+        return cls(
+            rl_epochs=600,
+            episodes_per_epoch=16,
+            grid_size=32,
+            sa_iterations_hotspot=2000,
+        )
+
+
+def build_evaluators(spec: BenchmarkSpec, budget: ExperimentBudget, cache_dir=None):
+    """Characterize tables and build both thermal evaluators + rewards."""
+    cache_dir = DEFAULT_CACHE_DIR if cache_dir is None else Path(cache_dir)
+    sizes = []
+    for chiplet in spec.system.chiplets:
+        sizes.append((chiplet.width, chiplet.height))
+        if chiplet.rotatable:
+            sizes.append((chiplet.height, chiplet.width))
+    tables = load_or_characterize(
+        spec.system.interposer,
+        sizes,
+        spec.thermal_config,
+        position_samples=budget.position_samples,
+        cache_dir=cache_dir,
+    )
+    fast_model = FastThermalModel(tables, spec.thermal_config)
+    # Fresh factorization per call = HotSpot-like per-evaluation cost.
+    solver = GridThermalSolver(spec.system.interposer, spec.thermal_config)
+    reward_fast = RewardCalculator(fast_model, spec.reward_config)
+    reward_solver = RewardCalculator(solver, spec.reward_config)
+    return {
+        "fast_model": fast_model,
+        "solver": solver,
+        "reward_fast": reward_fast,
+        "reward_solver": reward_solver,
+        "tables": tables,
+    }
+
+
+def _run_rl(spec, reward_calculator, budget, use_rnd: bool) -> MethodResult:
+    env = FloorplanEnv(
+        spec.system,
+        reward_calculator,
+        EnvConfig(grid_size=budget.grid_size),
+    )
+    trainer = RLPlannerTrainer(
+        env,
+        TrainerConfig(
+            epochs=budget.rl_epochs,
+            episodes_per_epoch=budget.episodes_per_epoch,
+            seed=budget.seed,
+            use_rnd=use_rnd,
+            rnd=RNDConfig(bonus_scale=0.5),
+            ppo=PPOConfig(),
+            log_every=0,
+        ),
+    )
+    result = trainer.train()
+    breakdown = result.best_breakdown
+    method = "RLPlanner(RND)" if use_rnd else "RLPlanner"
+    if breakdown is None:
+        # Every episode deadlocked (possible on tight packings at very
+        # small budgets); report the deadlock penalty honestly.
+        return MethodResult(
+            system=spec.name,
+            method=method,
+            reward=result.best_reward,
+            wirelength=float("nan"),
+            temperature_c=float("nan"),
+            runtime_s=result.elapsed,
+            extra={
+                "epochs": result.epochs_run,
+                "deadlocks": result.deadlock_count,
+                "all_deadlocked": True,
+            },
+        )
+    return MethodResult(
+        system=spec.name,
+        method=method,
+        reward=breakdown.reward,
+        wirelength=breakdown.wirelength,
+        temperature_c=breakdown.max_temperature_c,
+        runtime_s=result.elapsed,
+        extra={
+            "epochs": result.epochs_run,
+            "deadlocks": result.deadlock_count,
+        },
+    )
+
+
+def _run_sa(
+    spec, reward_calculator, budget, variant: str, time_limit=None
+) -> MethodResult:
+    config = TAP25DConfig(
+        n_iterations=(
+            budget.sa_iterations_hotspot
+            if variant == "TAP-2.5D(HotSpot)"
+            else 100 * budget.sa_iterations_hotspot  # fast model is cheap
+        ),
+        time_limit=time_limit,
+        seed=budget.seed,
+    )
+    placer = TAP25DPlacer(spec.system, reward_calculator, config)
+    result = placer.run()
+    return MethodResult(
+        system=spec.name,
+        method=variant,
+        reward=result.breakdown.reward,
+        wirelength=result.breakdown.wirelength,
+        temperature_c=result.breakdown.max_temperature_c,
+        runtime_s=result.elapsed,
+        extra={"evaluations": result.n_evaluations},
+    )
+
+
+def run_all_methods(
+    spec: BenchmarkSpec,
+    budget: ExperimentBudget | None = None,
+    cache_dir=None,
+    methods: tuple = (
+        "RLPlanner",
+        "RLPlanner(RND)",
+        "TAP-2.5D(HotSpot)",
+        "TAP-2.5D*(FastThermal)",
+    ),
+) -> list:
+    """Run the requested methods on one benchmark; returns MethodResults."""
+    budget = budget or ExperimentBudget()
+    evaluators = build_evaluators(spec, budget, cache_dir)
+    results = []
+    rl_elapsed = None
+
+    if "RLPlanner" in methods:
+        _logger.info("%s: RLPlanner", spec.name)
+        res = _run_rl(spec, evaluators["reward_fast"], budget, use_rnd=False)
+        rl_elapsed = res.runtime_s
+        results.append(res)
+    if "RLPlanner(RND)" in methods:
+        _logger.info("%s: RLPlanner(RND)", spec.name)
+        res = _run_rl(spec, evaluators["reward_fast"], budget, use_rnd=True)
+        rl_elapsed = rl_elapsed or res.runtime_s
+        results.append(res)
+    if "TAP-2.5D(HotSpot)" in methods:
+        _logger.info("%s: TAP-2.5D(HotSpot)", spec.name)
+        results.append(
+            _run_sa(
+                spec,
+                evaluators["reward_solver"],
+                budget,
+                "TAP-2.5D(HotSpot)",
+            )
+        )
+    if "TAP-2.5D*(FastThermal)" in methods:
+        _logger.info("%s: TAP-2.5D*(FastThermal)", spec.name)
+        # The paper's asterisk: SA on the fast model gets a wall-clock
+        # budget similar to RL training.
+        time_limit = rl_elapsed if (budget.sa_time_matched and rl_elapsed) else None
+        results.append(
+            _run_sa(
+                spec,
+                evaluators["reward_fast"],
+                budget,
+                "TAP-2.5D*(FastThermal)",
+                time_limit=time_limit,
+            )
+        )
+    return results

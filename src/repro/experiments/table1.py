@@ -1,0 +1,35 @@
+"""Table I: four methods on the three open-source benchmark systems."""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_comparison, format_table
+from repro.experiments.runner import ExperimentBudget, run_all_methods
+from repro.systems import get_benchmark
+from repro.utils import get_logger
+
+__all__ = ["run_table1"]
+
+_logger = get_logger("experiments.table1")
+
+TABLE1_SYSTEMS = ("multi_gpu", "cpu_dram", "ascend910")
+
+
+def run_table1(
+    budget: ExperimentBudget | None = None,
+    systems: tuple = TABLE1_SYSTEMS,
+    cache_dir=None,
+    verbose: bool = True,
+) -> list:
+    """Regenerate Table I; returns a flat list of MethodResults."""
+    budget = budget or ExperimentBudget()
+    all_results = []
+    for name in systems:
+        spec = get_benchmark(name)
+        results = run_all_methods(spec, budget, cache_dir=cache_dir)
+        all_results.extend(results)
+        if verbose:
+            print(format_comparison(results, spec.paper_reference, spec.name))
+    if verbose:
+        print()
+        print(format_table(all_results, title="Table I (scaled budgets)"))
+    return all_results

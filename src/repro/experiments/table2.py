@@ -1,0 +1,115 @@
+"""Table II: fast thermal model accuracy and speed vs the full solver.
+
+The paper evaluates 2,000 synthetic systems; MSE/RMSE/MAE/MAPE of the
+maximum temperature plus per-inference wall clock.  The harness defaults
+to a subset for runtime and exposes ``n_systems`` for the full run.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.experiments.runner import DEFAULT_CACHE_DIR
+from repro.systems.synthetic import (
+    DATASET_INTERPOSER,
+    DATASET_SIZES,
+    synthetic_thermal_dataset,
+)
+from repro.thermal import (
+    FastThermalModel,
+    GridThermalSolver,
+    ThermalConfig,
+    error_metrics,
+)
+from repro.thermal.characterize import load_or_characterize
+from repro.utils import get_logger
+
+__all__ = ["Table2Result", "run_table2"]
+
+_logger = get_logger("experiments.table2")
+
+
+@dataclass
+class Table2Result:
+    """Accuracy metrics and timing of the surrogate-vs-solver study."""
+
+    metrics: dict
+    solver_time_per_eval: float
+    fast_time_per_eval: float
+    characterization_time: float
+    n_systems: int
+    predictions: list = field(default_factory=list)
+    references: list = field(default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        return self.solver_time_per_eval / max(self.fast_time_per_eval, 1e-12)
+
+    def format(self) -> str:
+        m = self.metrics
+        return "\n".join(
+            [
+                "Table II — fast thermal model vs grid solver "
+                f"({self.n_systems} systems)",
+                f"  MSE   {m['mse']:.4f} K^2   (paper 0.1732)",
+                f"  RMSE  {m['rmse']:.4f} K    (paper 0.4162)",
+                f"  MAE   {m['mae']:.4f} K    (paper 0.2523)",
+                f"  MAPE  {m['mape']:.4f} %   (paper 0.0726)",
+                f"  solver {self.solver_time_per_eval*1e3:.1f} ms/eval, "
+                f"fast {self.fast_time_per_eval*1e3:.3f} ms/eval "
+                f"-> {self.speedup:.0f}x speedup (paper 127x)",
+            ]
+        )
+
+
+def run_table2(
+    n_systems: int = 300,
+    seed: int = 7,
+    thermal_config: ThermalConfig | None = None,
+    cache_dir=None,
+    position_samples: tuple = (7, 7),
+) -> Table2Result:
+    """Regenerate Table II on ``n_systems`` random systems."""
+    config = thermal_config or ThermalConfig(r_convection=0.12)
+    cache_dir = DEFAULT_CACHE_DIR if cache_dir is None else Path(cache_dir)
+
+    sizes = [(w, h) for w in DATASET_SIZES for h in DATASET_SIZES]
+    t0 = time.perf_counter()
+    tables = load_or_characterize(
+        DATASET_INTERPOSER,
+        sizes,
+        config,
+        position_samples=position_samples,
+        cache_dir=cache_dir,
+    )
+    characterization_time = time.perf_counter() - t0
+    fast_model = FastThermalModel(tables, config)
+    # Fresh factorization per evaluation mirrors a HotSpot run's cost.
+    solver = GridThermalSolver(DATASET_INTERPOSER, config)
+
+    predictions, references = [], []
+    solver_time = fast_time = 0.0
+    for index, (system, placement) in enumerate(
+        synthetic_thermal_dataset(n_systems, seed=seed)
+    ):
+        ref = solver.evaluate(placement)
+        fast = fast_model.evaluate(placement)
+        solver_time += ref.elapsed
+        fast_time += fast.elapsed
+        references.append(ref.max_temperature)
+        predictions.append(fast.max_temperature)
+        if (index + 1) % 100 == 0:
+            _logger.info("table2: %d/%d systems", index + 1, n_systems)
+
+    metrics = error_metrics(predictions, references)
+    return Table2Result(
+        metrics=metrics,
+        solver_time_per_eval=solver_time / n_systems,
+        fast_time_per_eval=fast_time / n_systems,
+        characterization_time=characterization_time,
+        n_systems=n_systems,
+        predictions=[float(p) for p in predictions],
+        references=[float(r) for r in references],
+    )

@@ -1,0 +1,12 @@
+"""Planar geometry substrate: rectangles and placement grids.
+
+All coordinates are in millimetres with the origin at the lower-left
+corner of the interposer.  Rectangles are axis-aligned and closed on the
+lower/left edges, open on the upper/right edges, so two abutting chiplets
+do not count as overlapping.
+"""
+
+from repro.geometry.rect import Rect
+from repro.geometry.grid import PlacementGrid
+
+__all__ = ["Rect", "PlacementGrid"]

@@ -1,0 +1,170 @@
+"""Axis-aligned rectangles in millimetres.
+
+The floorplanner, the bump assigner and the thermal solver all reason
+about chiplet footprints as rectangles; this module is the single source
+of truth for overlap, containment and distance semantics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["Rect"]
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Axis-aligned rectangle ``[x, x+w) x [y, y+h)``.
+
+    Attributes
+    ----------
+    x, y:
+        Lower-left corner in mm.
+    w, h:
+        Width and height in mm; must be positive.
+    """
+
+    x: float
+    y: float
+    w: float
+    h: float
+
+    def __post_init__(self) -> None:
+        if self.w <= 0 or self.h <= 0:
+            raise ValueError(f"Rect needs positive size, got w={self.w}, h={self.h}")
+
+    # -- derived coordinates -------------------------------------------------
+
+    @property
+    def x2(self) -> float:
+        """Right edge (exclusive)."""
+        return self.x + self.w
+
+    @property
+    def y2(self) -> float:
+        """Top edge (exclusive)."""
+        return self.y + self.h
+
+    @property
+    def cx(self) -> float:
+        """Center x."""
+        return self.x + self.w / 2.0
+
+    @property
+    def cy(self) -> float:
+        """Center y."""
+        return self.y + self.h / 2.0
+
+    @property
+    def center(self) -> tuple:
+        return (self.cx, self.cy)
+
+    @property
+    def area(self) -> float:
+        return self.w * self.h
+
+    @property
+    def aspect(self) -> float:
+        """Aspect ratio width/height."""
+        return self.w / self.h
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_center(cls, cx: float, cy: float, w: float, h: float) -> "Rect":
+        """Build a rectangle from its center point."""
+        return cls(cx - w / 2.0, cy - h / 2.0, w, h)
+
+    @classmethod
+    def from_corners(cls, x1: float, y1: float, x2: float, y2: float) -> "Rect":
+        """Build from two opposite corners (any order)."""
+        lo_x, hi_x = min(x1, x2), max(x1, x2)
+        lo_y, hi_y = min(y1, y2), max(y1, y2)
+        return cls(lo_x, lo_y, hi_x - lo_x, hi_y - lo_y)
+
+    # -- transforms ----------------------------------------------------------
+
+    def moved_to(self, x: float, y: float) -> "Rect":
+        """Same size, lower-left corner at (x, y)."""
+        return Rect(x, y, self.w, self.h)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        return Rect(self.x + dx, self.y + dy, self.w, self.h)
+
+    def rotated(self) -> "Rect":
+        """90-degree rotation about the lower-left corner (w/h swapped)."""
+        return Rect(self.x, self.y, self.h, self.w)
+
+    def inflated(self, margin: float) -> "Rect":
+        """Grow every side outward by ``margin`` (may not go non-positive)."""
+        return Rect(
+            self.x - margin, self.y - margin, self.w + 2 * margin, self.h + 2 * margin
+        )
+
+    # -- predicates ----------------------------------------------------------
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True when the open interiors intersect (abutment is not overlap)."""
+        return (
+            self.x < other.x2
+            and other.x < self.x2
+            and self.y < other.y2
+            and other.y < self.y2
+        )
+
+    def contains_rect(self, other: "Rect", tol: float = 1e-9) -> bool:
+        """True when ``other`` lies fully inside (edges may coincide).
+
+        ``tol`` (mm) absorbs float round-off from width/height storage;
+        1e-9 mm is far below any manufacturable feature size.
+        """
+        return (
+            other.x >= self.x - tol
+            and other.y >= self.y - tol
+            and other.x2 <= self.x2 + tol
+            and other.y2 <= self.y2 + tol
+        )
+
+    def contains_point(self, px: float, py: float) -> bool:
+        """Half-open containment: lower/left edges in, upper/right out."""
+        return self.x <= px < self.x2 and self.y <= py < self.y2
+
+    # -- measures ------------------------------------------------------------
+
+    def intersection_area(self, other: "Rect") -> float:
+        """Area of the overlap region (0.0 when disjoint)."""
+        dx = min(self.x2, other.x2) - max(self.x, other.x)
+        dy = min(self.y2, other.y2) - max(self.y, other.y)
+        if dx <= 0.0 or dy <= 0.0:
+            return 0.0
+        return dx * dy
+
+    def center_distance(self, other: "Rect") -> float:
+        """Euclidean distance between centers (mm)."""
+        return math.hypot(self.cx - other.cx, self.cy - other.cy)
+
+    def center_manhattan(self, other: "Rect") -> float:
+        """Manhattan distance between centers (mm)."""
+        return abs(self.cx - other.cx) + abs(self.cy - other.cy)
+
+    def gap(self, other: "Rect") -> float:
+        """Smallest axis gap between boundaries; 0.0 when touching/overlapping.
+
+        This is the Chebyshev-style clearance used for minimum-spacing
+        design rules between chiplets.
+        """
+        gx = max(max(other.x - self.x2, self.x - other.x2), 0.0)
+        gy = max(max(other.y - self.y2, self.y - other.y2), 0.0)
+        if gx == 0.0 and gy == 0.0:
+            return 0.0
+        return math.hypot(gx, gy)
+
+    def union_bbox(self, other: "Rect") -> "Rect":
+        """Smallest rectangle covering both."""
+        return Rect.from_corners(
+            min(self.x, other.x),
+            min(self.y, other.y),
+            max(self.x2, other.x2),
+            max(self.y2, other.y2),
+        )

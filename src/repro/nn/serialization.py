@@ -1,0 +1,20 @@
+"""Checkpointing: module state dicts to/from ``.npz`` archives."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["save_state_dict", "load_state_dict"]
+
+
+def save_state_dict(state: dict, path) -> None:
+    """Write a ``{name: array}`` state dict to ``path`` (.npz)."""
+    np.savez_compressed(Path(path), **state)
+
+
+def load_state_dict(path) -> dict:
+    """Read a state dict previously written by :func:`save_state_dict`."""
+    with np.load(Path(path)) as data:
+        return {key: data[key].copy() for key in data.files}

@@ -1,0 +1,482 @@
+"""Reverse-mode autograd tensor.
+
+A :class:`Tensor` wraps a numpy array and records the operations applied
+to it; :meth:`Tensor.backward` walks the recorded graph in reverse
+topological order accumulating gradients.  The op set is exactly what
+PPO + RND training needs — elementwise arithmetic, matmul, conv2d,
+reductions, stable log-softmax, clipping — nothing speculative.
+
+Broadcasting follows numpy; gradients of broadcast operands are summed
+back to the operand's shape (:func:`_unbroadcast`).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+__all__ = ["Tensor", "no_grad"]
+
+_grad_enabled = True
+
+
+@contextmanager
+def no_grad():
+    """Disable graph recording (inference / rollout collection)."""
+    global _grad_enabled
+    previous = _grad_enabled
+    _grad_enabled = False
+    try:
+        yield
+    finally:
+        _grad_enabled = previous
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape`` (inverse of numpy broadcasting)."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading broadcast axes.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum along axes that were size-1 in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy array with a gradient tape.
+
+    Parameters
+    ----------
+    data:
+        Array-like; stored as float64.
+    requires_grad:
+        Leaf tensors with True accumulate ``.grad`` during backward.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = None
+        self.requires_grad = bool(requires_grad)
+        self._backward = None
+        self._parents = ()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def _from_op(cls, data, parents, backward) -> "Tensor":
+        out = cls(data)
+        if _grad_enabled and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def detach(self) -> "Tensor":
+        """A new leaf tensor sharing the same values."""
+        return Tensor(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    # ------------------------------------------------------------------
+    # backward pass
+    # ------------------------------------------------------------------
+
+    def backward(self, grad=None) -> None:
+        """Backpropagate from this tensor (defaults to d(self)/d(self)=1)."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward on a tensor without grad")
+        if grad is None:
+            if self.size != 1:
+                raise RuntimeError("backward without grad requires a scalar")
+            grad = np.ones_like(self.data)
+        else:
+            grad = np.asarray(grad, dtype=np.float64)
+
+        # Reverse topological order over the recorded graph.
+        order = []
+        visited = set()
+        stack = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if parent.requires_grad and id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node._backward is None:
+                # Leaf: accumulate.
+                node.grad = node_grad if node.grad is None else node.grad + node_grad
+                continue
+            for parent, parent_grad in node._backward(node_grad):
+                if not parent.requires_grad:
+                    continue
+                key = id(parent)
+                grads[key] = (
+                    parent_grad if key not in grads else grads[key] + parent_grad
+                )
+
+    # ------------------------------------------------------------------
+    # elementwise arithmetic
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _coerce(value) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def __add__(self, other):
+        other = self._coerce(other)
+        data = self.data + other.data
+
+        def backward(grad):
+            return (
+                (self, _unbroadcast(grad, self.shape)),
+                (other, _unbroadcast(grad, other.shape)),
+            )
+
+        return Tensor._from_op(data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self):
+        def backward(grad):
+            return ((self, -grad),)
+
+        return Tensor._from_op(-self.data, (self,), backward)
+
+    def __sub__(self, other):
+        return self + (-self._coerce(other))
+
+    def __rsub__(self, other):
+        return self._coerce(other) + (-self)
+
+    def __mul__(self, other):
+        other = self._coerce(other)
+        data = self.data * other.data
+
+        def backward(grad):
+            return (
+                (self, _unbroadcast(grad * other.data, self.shape)),
+                (other, _unbroadcast(grad * self.data, other.shape)),
+            )
+
+        return Tensor._from_op(data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        other = self._coerce(other)
+        data = self.data / other.data
+
+        def backward(grad):
+            return (
+                (self, _unbroadcast(grad / other.data, self.shape)),
+                (
+                    other,
+                    _unbroadcast(
+                        -grad * self.data / (other.data**2), other.shape
+                    ),
+                ),
+            )
+
+        return Tensor._from_op(data, (self, other), backward)
+
+    def __rtruediv__(self, other):
+        return self._coerce(other) / self
+
+    def __pow__(self, exponent: float):
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data**exponent
+
+        def backward(grad):
+            return ((self, grad * exponent * self.data ** (exponent - 1)),)
+
+        return Tensor._from_op(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # nonlinearities
+    # ------------------------------------------------------------------
+
+    def relu(self):
+        mask = self.data > 0
+
+        def backward(grad):
+            return ((self, grad * mask),)
+
+        return Tensor._from_op(self.data * mask, (self,), backward)
+
+    def tanh(self):
+        out_data = np.tanh(self.data)
+
+        def backward(grad):
+            return ((self, grad * (1.0 - out_data**2)),)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def exp(self):
+        out_data = np.exp(self.data)
+
+        def backward(grad):
+            return ((self, grad * out_data),)
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def log(self):
+        def backward(grad):
+            return ((self, grad / self.data),)
+
+        return Tensor._from_op(np.log(self.data), (self,), backward)
+
+    def clip(self, low: float, high: float):
+        """Clamp values; gradient is zero outside [low, high] (PPO clip)."""
+        inside = (self.data >= low) & (self.data <= high)
+
+        def backward(grad):
+            return ((self, grad * inside),)
+
+        return Tensor._from_op(np.clip(self.data, low, high), (self,), backward)
+
+    def minimum(self, other):
+        """Elementwise min; the gradient follows the smaller operand."""
+        other = self._coerce(other)
+        take_self = self.data <= other.data
+        data = np.where(take_self, self.data, other.data)
+
+        def backward(grad):
+            return (
+                (self, _unbroadcast(grad * take_self, self.shape)),
+                (other, _unbroadcast(grad * ~take_self, other.shape)),
+            )
+
+        return Tensor._from_op(data, (self, other), backward)
+
+    def abs(self):
+        sign = np.sign(self.data)
+
+        def backward(grad):
+            return ((self, grad * sign),)
+
+        return Tensor._from_op(np.abs(self.data), (self,), backward)
+
+    # ------------------------------------------------------------------
+    # reductions and shaping
+    # ------------------------------------------------------------------
+
+    def sum(self, axis=None, keepdims: bool = False):
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad):
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            return ((self, np.broadcast_to(g, self.shape).copy()),)
+
+        return Tensor._from_op(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False):
+        count = self.size if axis is None else self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) / float(count)
+
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+
+        def backward(grad):
+            return ((self, grad.reshape(self.shape)),)
+
+        return Tensor._from_op(data, (self,), backward)
+
+    def flatten_batch(self):
+        """Reshape (N, ...) -> (N, -1)."""
+        return self.reshape(self.shape[0], -1)
+
+    def transpose(self, axes=None):
+        data = self.data.transpose(axes)
+        inverse = None if axes is None else tuple(np.argsort(axes))
+
+        def backward(grad):
+            return ((self, grad.transpose(inverse)),)
+
+        return Tensor._from_op(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # linear algebra
+    # ------------------------------------------------------------------
+
+    def matmul(self, other):
+        other = self._coerce(other)
+        data = self.data @ other.data
+
+        def backward(grad):
+            return (
+                (self, grad @ other.data.swapaxes(-1, -2)),
+                (other, self.data.swapaxes(-1, -2) @ grad),
+            )
+
+        return Tensor._from_op(data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------
+    # softmax family
+    # ------------------------------------------------------------------
+
+    def log_softmax(self, axis: int = -1):
+        """Numerically stable log-softmax along ``axis``."""
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - log_norm
+        softmax = np.exp(out_data)
+
+        def backward(grad):
+            return (
+                (
+                    self,
+                    grad - softmax * grad.sum(axis=axis, keepdims=True),
+                ),
+            )
+
+        return Tensor._from_op(out_data, (self,), backward)
+
+    def softmax(self, axis: int = -1):
+        return self.log_softmax(axis=axis).exp()
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+
+    def gather(self, indices: np.ndarray, axis: int = -1):
+        """Select one element per row along ``axis`` (log-prob of action).
+
+        ``indices`` is an integer array with one fewer dimension than the
+        tensor; gradients scatter back to the selected positions.
+        """
+        indices = np.asarray(indices)
+        expanded = np.expand_dims(indices, axis)
+        data = np.take_along_axis(self.data, expanded, axis=axis).squeeze(axis)
+
+        def backward(grad):
+            full = np.zeros_like(self.data)
+            np.put_along_axis(
+                full, expanded, np.expand_dims(grad, axis), axis=axis
+            )
+            return ((self, full),)
+
+        return Tensor._from_op(data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # convolution (im2col)
+    # ------------------------------------------------------------------
+
+    def conv2d(self, weight: "Tensor", bias: "Tensor" = None, stride: int = 1, padding: int = 0):
+        """2D convolution: input (N,C,H,W), weight (F,C,kh,kw), bias (F,)."""
+        x = self.data
+        w = weight.data
+        n, c, h, wdt = x.shape
+        f, c2, kh, kw = w.shape
+        if c != c2:
+            raise ValueError(f"channel mismatch: input {c}, weight {c2}")
+        out_h = (h + 2 * padding - kh) // stride + 1
+        out_w = (wdt + 2 * padding - kw) // stride + 1
+        if padding:
+            x_pad = np.pad(
+                x, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+            )
+        else:
+            x_pad = x
+        cols = _im2col(x_pad, kh, kw, stride, out_h, out_w)  # (N, C*kh*kw, L)
+        w_mat = w.reshape(f, -1)  # (F, C*kh*kw)
+        out = np.einsum("fk,nkl->nfl", w_mat, cols).reshape(n, f, out_h, out_w)
+        if bias is not None:
+            out = out + bias.data.reshape(1, f, 1, 1)
+
+        parents = (self, weight) + ((bias,) if bias is not None else ())
+
+        def backward(grad):
+            grad_mat = grad.reshape(n, f, -1)  # (N, F, L)
+            grad_w = np.einsum("nfl,nkl->fk", grad_mat, cols).reshape(w.shape)
+            grad_cols = np.einsum("fk,nfl->nkl", w_mat, grad_mat)
+            grad_x_pad = _col2im(
+                grad_cols, x_pad.shape, kh, kw, stride, out_h, out_w
+            )
+            if padding:
+                grad_x = grad_x_pad[:, :, padding:-padding, padding:-padding]
+            else:
+                grad_x = grad_x_pad
+            results = [(self, grad_x), (weight, grad_w)]
+            if bias is not None:
+                results.append((bias, grad.sum(axis=(0, 2, 3))))
+            return tuple(results)
+
+        return Tensor._from_op(out, parents, backward)
+
+
+def _im2col(x_pad, kh, kw, stride, out_h, out_w):
+    """Unfold padded input (N,C,H,W) into (N, C*kh*kw, out_h*out_w)."""
+    n, c, _, _ = x_pad.shape
+    windows = np.lib.stride_tricks.sliding_window_view(x_pad, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::stride, ::stride, :, :]
+    # (N, C, out_h, out_w, kh, kw) -> (N, C*kh*kw, out_h*out_w)
+    return (
+        windows.transpose(0, 1, 4, 5, 2, 3)
+        .reshape(n, c * kh * kw, out_h * out_w)
+        .copy()
+    )
+
+
+def _col2im(cols, x_shape, kh, kw, stride, out_h, out_w):
+    """Fold (N, C*kh*kw, L) gradients back onto the padded input."""
+    n, c, h, w = x_shape
+    grad = np.zeros(x_shape, dtype=cols.dtype)
+    cols6 = cols.reshape(n, c, kh, kw, out_h, out_w)
+    for i in range(kh):
+        for j in range(kw):
+            grad[
+                :, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride
+            ] += cols6[:, :, i, j, :, :]
+    return grad

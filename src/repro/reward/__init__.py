@@ -1,0 +1,5 @@
+"""Thermal-aware floorplanning reward (the paper's Section II-C)."""
+
+from repro.reward.reward import RewardConfig, RewardCalculator, RewardBreakdown
+
+__all__ = ["RewardConfig", "RewardCalculator", "RewardBreakdown"]

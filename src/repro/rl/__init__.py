@@ -1,0 +1,19 @@
+"""Reinforcement-learning core: PPO, RND, rollout buffer, GAE."""
+
+from repro.rl.running_stats import RunningMeanStd
+from repro.rl.buffer import Episode, RolloutBatch, RolloutBuffer
+from repro.rl.ppo import PPOConfig, PPOUpdater
+from repro.rl.rnd import RNDConfig, RandomNetworkDistillation
+from repro.rl.schedule import linear_schedule
+
+__all__ = [
+    "RunningMeanStd",
+    "Episode",
+    "RolloutBatch",
+    "RolloutBuffer",
+    "PPOConfig",
+    "PPOUpdater",
+    "RNDConfig",
+    "RandomNetworkDistillation",
+    "linear_schedule",
+]

@@ -1,0 +1,173 @@
+"""Episode storage and generalized advantage estimation.
+
+Floorplanning episodes are short (one step per chiplet) and the
+extrinsic reward is terminal-only; RND adds a per-step intrinsic bonus.
+The buffer collects complete episodes, computes GAE(lambda) per episode,
+and flattens everything into arrays for the PPO update.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Episode", "RolloutBatch", "RolloutBuffer"]
+
+
+@dataclass
+class Episode:
+    """One sequential-placement episode."""
+
+    observations: list = field(default_factory=list)  # (C, G, G) arrays
+    masks: list = field(default_factory=list)  # (A,) bool arrays
+    actions: list = field(default_factory=list)  # int
+    log_probs: list = field(default_factory=list)  # float
+    values: list = field(default_factory=list)  # float
+    rewards: list = field(default_factory=list)  # extrinsic, usually terminal
+
+    def add_step(self, obs, mask, action, log_prob, value, reward=0.0) -> None:
+        self.observations.append(np.asarray(obs))
+        self.masks.append(np.asarray(mask, dtype=bool))
+        self.actions.append(int(action))
+        self.log_probs.append(float(log_prob))
+        self.values.append(float(value))
+        self.rewards.append(float(reward))
+
+    def set_terminal_reward(self, reward: float) -> None:
+        """Overwrite the last step's extrinsic reward."""
+        if not self.rewards:
+            raise RuntimeError("episode has no steps")
+        self.rewards[-1] = float(reward)
+
+    @property
+    def length(self) -> int:
+        return len(self.actions)
+
+    @property
+    def total_reward(self) -> float:
+        return float(sum(self.rewards))
+
+
+@dataclass
+class RolloutBatch:
+    """Flat arrays ready for the PPO update."""
+
+    observations: np.ndarray  # (T, C, G, G)
+    masks: np.ndarray  # (T, A)
+    actions: np.ndarray  # (T,)
+    old_log_probs: np.ndarray  # (T,)
+    advantages: np.ndarray  # (T,)
+    returns: np.ndarray  # (T,)
+    old_values: np.ndarray  # (T,)
+
+    @property
+    def size(self) -> int:
+        return len(self.actions)
+
+    def minibatches(self, batch_size: int, rng: np.random.Generator):
+        """Yield shuffled minibatch views."""
+        order = rng.permutation(self.size)
+        for start in range(0, self.size, batch_size):
+            idx = order[start : start + batch_size]
+            yield RolloutBatch(
+                observations=self.observations[idx],
+                masks=self.masks[idx],
+                actions=self.actions[idx],
+                old_log_probs=self.old_log_probs[idx],
+                advantages=self.advantages[idx],
+                returns=self.returns[idx],
+                old_values=self.old_values[idx],
+            )
+
+
+class RolloutBuffer:
+    """Collects episodes, computes GAE, emits a normalized batch.
+
+    Parameters
+    ----------
+    gamma:
+        Discount factor (episodes are short; 1.0 and 0.99 both work).
+    gae_lambda:
+        GAE mixing parameter.
+    normalize_advantages:
+        Standardize advantages across the batch (PPO staple).
+    """
+
+    def __init__(
+        self,
+        gamma: float = 0.99,
+        gae_lambda: float = 0.95,
+        normalize_advantages: bool = True,
+    ):
+        if not 0.0 <= gamma <= 1.0:
+            raise ValueError("gamma must be in [0, 1]")
+        if not 0.0 <= gae_lambda <= 1.0:
+            raise ValueError("gae_lambda must be in [0, 1]")
+        self.gamma = gamma
+        self.gae_lambda = gae_lambda
+        self.normalize_advantages = normalize_advantages
+        self.episodes: list = []
+
+    def add_episode(self, episode: Episode, intrinsic_rewards=None) -> None:
+        """Store an episode, optionally adding per-step intrinsic rewards."""
+        if episode.length == 0:
+            raise ValueError("cannot add an empty episode")
+        rewards = np.array(episode.rewards, dtype=np.float64)
+        if intrinsic_rewards is not None:
+            intrinsic = np.asarray(intrinsic_rewards, dtype=np.float64)
+            if intrinsic.shape != rewards.shape:
+                raise ValueError("intrinsic rewards must match episode length")
+            rewards = rewards + intrinsic
+        self.episodes.append((episode, rewards))
+
+    def clear(self) -> None:
+        self.episodes.clear()
+
+    @property
+    def n_steps(self) -> int:
+        return sum(ep.length for ep, _ in self.episodes)
+
+    def compute(self) -> RolloutBatch:
+        """GAE over every stored episode, flattened into one batch."""
+        if not self.episodes:
+            raise RuntimeError("no episodes collected")
+        all_obs, all_masks, all_actions = [], [], []
+        all_log_probs, all_adv, all_ret, all_val = [], [], [], []
+        for episode, rewards in self.episodes:
+            values = np.array(episode.values, dtype=np.float64)
+            advantages = self._gae(rewards, values)
+            returns = advantages + values
+            all_obs.extend(episode.observations)
+            all_masks.extend(episode.masks)
+            all_actions.extend(episode.actions)
+            all_log_probs.extend(episode.log_probs)
+            all_adv.append(advantages)
+            all_ret.append(returns)
+            all_val.append(values)
+        advantages = np.concatenate(all_adv)
+        if self.normalize_advantages and len(advantages) > 1:
+            advantages = (advantages - advantages.mean()) / (
+                advantages.std() + 1e-8
+            )
+        return RolloutBatch(
+            observations=np.stack(all_obs),
+            masks=np.stack(all_masks),
+            actions=np.array(all_actions, dtype=np.int64),
+            old_log_probs=np.array(all_log_probs, dtype=np.float64),
+            advantages=advantages,
+            returns=np.concatenate(all_ret),
+            old_values=np.concatenate(all_val),
+        )
+
+    def _gae(self, rewards: np.ndarray, values: np.ndarray) -> np.ndarray:
+        """Terminal-bootstrap-free GAE (episodes always end)."""
+        T = len(rewards)
+        advantages = np.zeros(T)
+        last = 0.0
+        for t in reversed(range(T)):
+            next_value = values[t + 1] if t + 1 < T else 0.0
+            delta = rewards[t] + self.gamma * next_value - values[t]
+            last = delta + self.gamma * self.gae_lambda * last
+            advantages[t] = last
+        return advantages

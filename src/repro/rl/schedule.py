@@ -1,0 +1,15 @@
+"""Scalar schedules for annealed hyperparameters."""
+
+from __future__ import annotations
+
+__all__ = ["linear_schedule"]
+
+
+def linear_schedule(start: float, end: float, fraction: float) -> float:
+    """Linear interpolation clamped to [start, end] by ``fraction`` in [0,1].
+
+    >>> linear_schedule(1.0, 0.0, 0.25)
+    0.75
+    """
+    fraction = min(max(fraction, 0.0), 1.0)
+    return start + (end - start) * fraction

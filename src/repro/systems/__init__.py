@@ -1,0 +1,57 @@
+"""Benchmark chiplet systems (paper Section III).
+
+Three open-source-derived systems and a seeded synthetic generator.  The
+cited publications do not ship machine-readable floorplans, so die
+sizes/powers here follow their public descriptions (see each module's
+docstring); per-system thermal and reward parameters are calibrated so
+the reference metrics land in the paper's reported ranges, and every
+number is overridable.
+"""
+
+from repro.systems.spec import BenchmarkSpec
+from repro.systems.multi_gpu import multi_gpu_system
+from repro.systems.cpu_dram import cpu_dram_system
+from repro.systems.ascend910 import ascend910_system
+from repro.systems.synthetic import (
+    synthetic_case,
+    synthetic_system,
+    synthetic_thermal_dataset,
+)
+
+__all__ = [
+    "BenchmarkSpec",
+    "multi_gpu_system",
+    "cpu_dram_system",
+    "ascend910_system",
+    "synthetic_system",
+    "synthetic_case",
+    "synthetic_thermal_dataset",
+    "get_benchmark",
+    "benchmark_names",
+]
+
+_REGISTRY = {
+    "multi_gpu": multi_gpu_system,
+    "cpu_dram": cpu_dram_system,
+    "ascend910": ascend910_system,
+}
+for _i in range(1, 6):
+    _REGISTRY[f"synthetic{_i}"] = (
+        lambda case=_i: synthetic_case(case)
+    )
+
+
+def benchmark_names() -> list:
+    """All registered benchmark identifiers."""
+    return list(_REGISTRY)
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Build a benchmark spec by name (see :func:`benchmark_names`)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {benchmark_names()}"
+        ) from None
+    return factory()

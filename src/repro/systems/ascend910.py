@@ -1,0 +1,55 @@
+"""Huawei Ascend 910 system (benchmark [6]).
+
+The publicly documented CoWoS package: one large Da Vinci AI compute die
+(~456 mm^2), the Nimbus I/O die (~168 mm^2), four HBM2 stacks and two
+dummy dies that balance the package mechanically (they draw no power but
+still occupy placement area — exactly why the paper includes this case).
+"""
+
+from __future__ import annotations
+
+from repro.chiplet import Chiplet, ChipletSystem, Interposer, Net
+from repro.reward import RewardConfig
+from repro.systems.spec import BenchmarkSpec
+from repro.thermal import ThermalConfig
+
+__all__ = ["ascend910_system"]
+
+
+def ascend910_system() -> BenchmarkSpec:
+    """Build the Ascend 910 benchmark spec."""
+    chiplets = [
+        Chiplet("vcore", 21.0, 22.0, 220.0, kind="ai", rotatable=True),
+        Chiplet("nimbus", 14.0, 12.0, 18.0, kind="io"),
+        Chiplet("dummy0", 10.0, 11.0, 0.0, kind="dummy"),
+        Chiplet("dummy1", 10.0, 11.0, 0.0, kind="dummy"),
+    ]
+    nets = [Net("vcore", "nimbus", wires=1024, name="v2n")]
+    for i in range(4):
+        chiplets.append(Chiplet(f"hbm{i}", 8.0, 12.0, 8.0, kind="hbm"))
+        nets.append(Net("vcore", f"hbm{i}", wires=512, name=f"v2h{i}"))
+
+    system = ChipletSystem(
+        name="ascend910",
+        interposer=Interposer(50.0, 38.0, min_spacing=0.2),
+        chiplets=tuple(chiplets),
+        nets=tuple(nets),
+        metadata={"source": "Huawei Ascend 910 public package description"},
+    )
+    # ~270 W accelerator with a substantial server sink.
+    # Calibrated so optimized layouts land near the paper's ~77 degC.
+    thermal = ThermalConfig(r_convection=0.02, package_margin=12.0)
+    reward = RewardConfig(lambda_wl=4.1e-4, t_limit=85.0, alpha=1.0)
+    return BenchmarkSpec(
+        name="ascend910",
+        system=system,
+        thermal_config=thermal,
+        reward_config=reward,
+        description="Da Vinci AI die + Nimbus IO + 4 HBM2 + 2 dummy dies",
+        paper_reference={
+            "RLPlanner": {"reward": -7.4063, "wirelength": 18130, "temperature": 77.12},
+            "RLPlanner(RND)": {"reward": -7.4433, "wirelength": 18221, "temperature": 76.84},
+            "TAP-2.5D(HotSpot)": {"reward": -8.7651, "wirelength": 21456, "temperature": 74.94},
+            "TAP-2.5D*(FastThermal)": {"reward": -7.7890, "wirelength": 19067, "temperature": 76.16},
+        },
+    )

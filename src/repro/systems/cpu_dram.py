@@ -1,0 +1,59 @@
+"""CPU-DRAM system (benchmark [5], after Kannan et al., MICRO'15).
+
+"Enabling interposer-based disintegration of multi-core processors":
+a large multicore is split into four core-cluster chiplets plus four
+DRAM stacks on an interposer, connected by a cross-chiplet coherence
+fabric and per-cluster memory channels.
+"""
+
+from __future__ import annotations
+
+from repro.chiplet import Chiplet, ChipletSystem, Interposer, Net
+from repro.reward import RewardConfig
+from repro.systems.spec import BenchmarkSpec
+from repro.thermal import ThermalConfig
+
+__all__ = ["cpu_dram_system"]
+
+
+def cpu_dram_system() -> BenchmarkSpec:
+    """Build the CPU-DRAM benchmark spec."""
+    chiplets = []
+    nets = []
+    for i in range(4):
+        chiplets.append(Chiplet(f"cpu{i}", 10.0, 10.0, 33.0, kind="cpu"))
+        chiplets.append(Chiplet(f"dram{i}", 8.0, 12.0, 5.0, kind="dram"))
+    # Coherence fabric: all CPU pairs.
+    for i in range(4):
+        for j in range(i + 1, 4):
+            nets.append(
+                Net(f"cpu{i}", f"cpu{j}", wires=1024, name=f"c{i}c{j}")
+            )
+    # One memory channel per cluster.
+    for i in range(4):
+        nets.append(Net(f"cpu{i}", f"dram{i}", wires=1536, name=f"c{i}d{i}"))
+
+    system = ChipletSystem(
+        name="cpu_dram",
+        interposer=Interposer(45.0, 45.0, min_spacing=0.2),
+        chiplets=tuple(chiplets),
+        nets=tuple(nets),
+        metadata={"source": "Kannan et al., MICRO'15 (disintegrated multicore)"},
+    )
+    # 152 W desktop-class package.
+    # Calibrated so optimized layouts land near the paper's ~93 degC.
+    thermal = ThermalConfig(r_convection=0.24, package_margin=12.0)
+    reward = RewardConfig(lambda_wl=2.1e-4, t_limit=85.0, alpha=1.0)
+    return BenchmarkSpec(
+        name="cpu_dram",
+        system=system,
+        thermal_config=thermal,
+        reward_config=reward,
+        description="4 CPU core-cluster chiplets + 4 DRAM stacks, coherence fabric",
+        paper_reference={
+            "RLPlanner": {"reward": -44.9467, "wirelength": 176246, "temperature": 92.88},
+            "RLPlanner(RND)": {"reward": -41.7496, "wirelength": 164460, "temperature": 92.15},
+            "TAP-2.5D(HotSpot)": {"reward": -60.3570, "wirelength": 181269, "temperature": 97.94},
+            "TAP-2.5D*(FastThermal)": {"reward": -50.2010, "wirelength": 231859, "temperature": 92.82},
+        },
+    )

@@ -1,0 +1,66 @@
+"""Multi-GPU system (TAP-2.5D benchmark [4], after NVIDIA's MCM-GPU).
+
+Four GPU modules with two HBM stacks each on a large silicon interposer
+— the package NVIDIA's MCM-GPU study (Arunkumar et al., ISCA'17)
+proposes and TAP-2.5D floorplans.  GPM power follows the MCM-GPU paper's
+~115 W per module; HBM stacks dissipate a few watts; inter-GPM links are
+wide parallel buses.
+"""
+
+from __future__ import annotations
+
+from repro.chiplet import Chiplet, ChipletSystem, Interposer, Net
+from repro.reward import RewardConfig
+from repro.systems.spec import BenchmarkSpec
+from repro.thermal import ThermalConfig
+
+__all__ = ["multi_gpu_system"]
+
+
+def multi_gpu_system() -> BenchmarkSpec:
+    """Build the Multi-GPU benchmark spec."""
+    chiplets = []
+    nets = []
+    for i in range(4):
+        chiplets.append(
+            Chiplet(f"gpu{i}", 12.0, 12.0, 115.0, kind="gpu")
+        )
+        for j in range(2):
+            chiplets.append(
+                Chiplet(f"hbm{i}{j}", 8.0, 12.0, 7.0, kind="hbm")
+            )
+    # Fully connected GPM fabric (six pairs).
+    for i in range(4):
+        for j in range(i + 1, 4):
+            nets.append(Net(f"gpu{i}", f"gpu{j}", wires=512, name=f"g{i}g{j}"))
+    # Each GPM talks to its two local HBM stacks.
+    for i in range(4):
+        for j in range(2):
+            nets.append(
+                Net(f"gpu{i}", f"hbm{i}{j}", wires=768, name=f"g{i}h{j}")
+            )
+
+    system = ChipletSystem(
+        name="multi_gpu",
+        interposer=Interposer(55.0, 55.0, min_spacing=0.2),
+        chiplets=tuple(chiplets),
+        nets=tuple(nets),
+        metadata={"source": "MCM-GPU (ISCA'17) via TAP-2.5D (DATE'21)"},
+    )
+    # 516 W package: server-class sink, low convective resistance.
+    # Calibrated so optimized layouts land near the paper's ~91 degC.
+    thermal = ThermalConfig(r_convection=0.033, package_margin=12.0)
+    reward = RewardConfig(lambda_wl=3.2e-4, t_limit=85.0, alpha=1.0)
+    return BenchmarkSpec(
+        name="multi_gpu",
+        system=system,
+        thermal_config=thermal,
+        reward_config=reward,
+        description="4 GPU modules + 8 HBM stacks, fully connected GPM fabric",
+        paper_reference={
+            "RLPlanner": {"reward": -37.1263, "wirelength": 97742, "temperature": 91.15},
+            "RLPlanner(RND)": {"reward": -40.2777, "wirelength": 104636, "temperature": 91.85},
+            "TAP-2.5D(HotSpot)": {"reward": -42.4572, "wirelength": 124639, "temperature": 91.68},
+            "TAP-2.5D*(FastThermal)": {"reward": -41.3358, "wirelength": 111545, "temperature": 91.97},
+        },
+    )

@@ -1,0 +1,38 @@
+"""Benchmark bundle: system + calibrated evaluation parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.chiplet import ChipletSystem
+from repro.reward import RewardConfig
+from repro.thermal import ThermalConfig
+
+__all__ = ["BenchmarkSpec"]
+
+
+@dataclass
+class BenchmarkSpec:
+    """Everything needed to evaluate one benchmark.
+
+    Attributes
+    ----------
+    system:
+        The chiplet design.
+    thermal_config:
+        Package/stack parameters calibrated for this system (convection
+        resistance scales with the plausible heat-sink size).
+    reward_config:
+        Per-system reward weights (the paper's per-system reward
+        magnitudes imply per-system wirelength weights).
+    paper_reference:
+        The paper's Table I/III numbers for this system, for side-by-side
+        reporting.  Empty for systems the paper does not tabulate.
+    """
+
+    name: str
+    system: ChipletSystem
+    thermal_config: ThermalConfig
+    reward_config: RewardConfig
+    description: str = ""
+    paper_reference: dict = field(default_factory=dict)

@@ -1,0 +1,41 @@
+"""Thermal analysis substrate.
+
+Two evaluators with one interface:
+
+* :class:`GridThermalSolver` — a HotSpot-style compact thermal model
+  (finite-volume RC network over a layered 2.5D stack, solved with
+  scipy.sparse).  This is the reproduction's stand-in for the HotSpot
+  binary and serves as ground truth.
+* :class:`FastThermalModel` — the paper's contribution: an LTI
+  superposition surrogate built from self-/mutual-thermal-resistance
+  tables characterized once against the grid solver.
+
+Both expose ``evaluate(placement) -> ThermalResult``.
+"""
+
+from repro.thermal.materials import Material, MATERIALS
+from repro.thermal.stack import Layer, LayerStack, default_chiplet_stack
+from repro.thermal.config import ThermalConfig
+from repro.thermal.result import ThermalResult
+from repro.thermal.grid_solver import GridThermalSolver
+from repro.thermal.fast_model import FastThermalModel, ResistanceTables
+from repro.thermal.characterize import characterize_tables
+from repro.thermal.metrics import error_metrics
+from repro.thermal.transient import TransientResult, TransientThermalSolver
+
+__all__ = [
+    "Material",
+    "MATERIALS",
+    "Layer",
+    "LayerStack",
+    "default_chiplet_stack",
+    "ThermalConfig",
+    "ThermalResult",
+    "GridThermalSolver",
+    "FastThermalModel",
+    "ResistanceTables",
+    "characterize_tables",
+    "error_metrics",
+    "TransientThermalSolver",
+    "TransientResult",
+]

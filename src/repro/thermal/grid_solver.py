@@ -1,0 +1,343 @@
+"""HotSpot-style steady-state compact thermal model.
+
+The package is discretized into ``n_layers x rows x cols`` finite-volume
+cells.  Adjacent cells are coupled by thermal conductances (series
+half-cell resistances, harmonic mean); the sink's top face couples to
+ambient through a distributed convective resistance and, optionally, the
+interposer's bottom face couples to the board through a weaker secondary
+path.  Chiplet power is injected uniformly over each die's footprint in
+the chiplet layer.  The resulting linear system ``G T = q`` is solved
+with a sparse direct factorization.
+
+This mirrors the formulation of HotSpot's grid model [Huang et al.,
+TVLSI'06] and serves as the reproduction's ground-truth solver.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.chiplet import ChipletSystem, Interposer, Placement
+from repro.geometry import PlacementGrid, Rect
+from repro.thermal.config import ThermalConfig
+from repro.thermal.result import ThermalResult
+
+__all__ = ["GridThermalSolver"]
+
+
+class GridThermalSolver:
+    """Steady-state solver for one package geometry.
+
+    Parameters
+    ----------
+    interposer:
+        Placement region; all layers share its lateral extent.
+    config:
+        Grid resolution, stack, boundary resistances, ambient.
+
+    reuse_factorization:
+        With the default homogeneous chiplet layer the conductance matrix
+        is placement-independent, so its LU factorization can be computed
+        once and reused for every evaluation.  Defaults to False to keep
+        per-call costs comparable to running the HotSpot binary (build
+    	model, factorize, solve each time) — which is what the paper's
+        speed comparison measures.  Characterization turns it on.
+
+    Notes
+    -----
+    The solver is placement-agnostic: construct once per package and call
+    :meth:`evaluate` with any placement on that interposer.
+    """
+
+    def __init__(
+        self,
+        interposer: Interposer,
+        config: ThermalConfig | None = None,
+        reuse_factorization: bool = False,
+    ):
+        self.interposer = interposer
+        self.config = config or ThermalConfig()
+        margin = self.config.package_margin
+        # The thermal grid spans the whole package; placements live in the
+        # interposer frame and are shifted by the margin internally.
+        self.grid = PlacementGrid(
+            interposer.width + 2 * margin,
+            interposer.height + 2 * margin,
+            self.config.rows,
+            self.config.cols,
+        )
+        self._offset = margin
+        self._n_layers = self.config.stack.n_layers
+        self._chip_idx = self.config.stack.chiplet_layer_index
+        # Fraction of each cell inside the interposer core (periphery
+        # materials apply outside it).
+        self._core_cover = self.grid.coverage(
+            Rect(margin, margin, interposer.width, interposer.height)
+            if margin > 0.0
+            else Rect(0.0, 0.0, interposer.width, interposer.height)
+        )
+        self._static = self._assemble_static()
+        self.reuse_factorization = reuse_factorization
+        self._factor = None
+        self.solve_count = 0
+
+    # -- frame helpers ---------------------------------------------------
+
+    def to_package_frame(self, rect: Rect) -> Rect:
+        """Translate an interposer-frame rectangle into the package frame."""
+        return rect.translated(self._offset, self._offset)
+
+    def chip_coverage(self, rect: Rect) -> np.ndarray:
+        """Grid coverage of an interposer-frame rectangle."""
+        return self.grid.coverage(self.to_package_frame(rect))
+
+    def cell_centers(self) -> tuple:
+        """Cell-center coordinate meshes in the *interposer* frame."""
+        xs = (np.arange(self.grid.cols) + 0.5) * self.grid.dx - self._offset
+        ys = (np.arange(self.grid.rows) + 0.5) * self.grid.dy - self._offset
+        return np.meshgrid(xs, ys)
+
+    def interposer_mask(self) -> np.ndarray:
+        """Cells whose centers lie on the interposer (valid die locations)."""
+        mesh_x, mesh_y = self.cell_centers()
+        return (
+            (mesh_x >= 0.0)
+            & (mesh_x <= self.interposer.width)
+            & (mesh_y >= 0.0)
+            & (mesh_y <= self.interposer.height)
+        )
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def evaluate(self, placement: Placement) -> ThermalResult:
+        """Solve the thermal field for a (complete or partial) placement."""
+        start = time.perf_counter()
+        footprints = placement.footprints()
+        powers = {
+            name: placement.system.chiplet(name).power for name in footprints
+        }
+        temps = self.solve_footprints(footprints, powers)
+        chip_layer = temps[self._chip_idx]
+        chiplet_temps = {
+            name: self._die_max_temperature(chip_layer, rect)
+            for name, rect in footprints.items()
+        }
+        max_temp = max(chiplet_temps.values()) if chiplet_temps else self.config.ambient
+        return ThermalResult(
+            chiplet_temperatures=chiplet_temps,
+            max_temperature=max_temp,
+            grid_temperatures=temps,
+            elapsed=time.perf_counter() - start,
+        )
+
+    def solve_footprints(self, footprints: dict, powers: dict) -> np.ndarray:
+        """Temperature field (K) for arbitrary die rectangles and powers.
+
+        This is the low-level entry used by both :meth:`evaluate` and the
+        surrogate characterization (which solves synthetic one- and
+        two-die configurations).
+        """
+        rhs = self._assemble_rhs(footprints, powers)
+        homogeneous = not self.config.heterogeneous_chiplet_layer
+        if homogeneous and self.reuse_factorization:
+            if self._factor is None:
+                matrix = self._assemble_matrix(self._chiplet_layer_conductivity({}))
+                self._factor = spla.factorized(matrix.tocsc())
+            solution = self._factor(rhs)
+        else:
+            k_chip = self._chiplet_layer_conductivity(footprints)
+            matrix = self._assemble_matrix(k_chip)
+            solution = spla.spsolve(matrix.tocsc(), rhs)
+        self.solve_count += 1
+        rows, cols = self.grid.shape
+        return solution.reshape(self._n_layers, rows, cols)
+
+    # ------------------------------------------------------------------
+    # matrix assembly
+    # ------------------------------------------------------------------
+
+    def _conductivity_maps(self, k_chip: np.ndarray) -> np.ndarray:
+        """Per-cell conductivity in W/(mm K), shape (L, R, C)."""
+        rows, cols = self.grid.shape
+        k = np.empty((self._n_layers, rows, cols), dtype=np.float64)
+        for i, layer in enumerate(self.config.stack.layers):
+            if layer.is_chiplet_layer:
+                k[i] = k_chip
+            else:
+                k[i] = layer.material.conductivity_mm
+            if layer.periphery_material is not None:
+                k_peri = layer.periphery_material.conductivity_mm
+                k[i] = self._core_cover * k[i] + (1.0 - self._core_cover) * k_peri
+        return k
+
+    def _chiplet_layer_conductivity(self, footprints: dict) -> np.ndarray:
+        """Per-cell conductivity of the chiplet layer.
+
+        Homogeneous mode (default, HotSpot-faithful): uniform die
+        material everywhere.  Heterogeneous mode: blend silicon and
+        underfill by die coverage per cell.
+        """
+        layer = self.config.stack.layers[self._chip_idx]
+        k_die = layer.material.conductivity_mm
+        if not self.config.heterogeneous_chiplet_layer:
+            return np.full(self.grid.shape, k_die)
+        cover = np.zeros(self.grid.shape, dtype=np.float64)
+        for rect in footprints.values():
+            cover = np.maximum(cover, self.chip_coverage(rect))
+        k_fill = layer.fill_material.conductivity_mm
+        return cover * k_die + (1.0 - cover) * k_fill
+
+    def _assemble_static(self) -> dict:
+        """Precompute everything that does not depend on the placement."""
+        rows, cols = self.grid.shape
+        n_per_layer = rows * cols
+        dx, dy = self.grid.dx, self.grid.dy
+        thickness = np.array(
+            [layer.thickness for layer in self.config.stack.layers]
+        )
+        # Convective boundary at the sink top: per-cell conductance is the
+        # area share of 1/r_convection, in series with the top half-cell.
+        top = self._n_layers - 1
+        k_top = self.config.stack.layers[top].material.conductivity_mm
+        cell_area = dx * dy
+        g_conv_share = (1.0 / self.config.r_convection) * (
+            cell_area / (self.grid.width * self.grid.height)
+        )
+        g_half_top = k_top * cell_area / (thickness[top] / 2.0)
+        g_ambient_top = 1.0 / (1.0 / g_conv_share + 1.0 / g_half_top)
+        # Optional secondary path from the interposer bottom to the board.
+        if self.config.r_board is not None:
+            k_bot = self.config.stack.layers[0].material.conductivity_mm
+            g_board_share = (1.0 / self.config.r_board) * (
+                cell_area / (self.grid.width * self.grid.height)
+            )
+            g_half_bot = k_bot * cell_area / (thickness[0] / 2.0)
+            g_ambient_bot = 1.0 / (1.0 / g_board_share + 1.0 / g_half_bot)
+        else:
+            g_ambient_bot = 0.0
+        return {
+            "thickness": thickness,
+            "n_per_layer": n_per_layer,
+            "g_ambient_top": g_ambient_top,
+            "g_ambient_bot": g_ambient_bot,
+        }
+
+    def _assemble_matrix(self, k_chip: np.ndarray) -> sp.coo_matrix:
+        """Build the symmetric conductance matrix for the given chip-layer k."""
+        rows, cols = self.grid.shape
+        n_per_layer = self._static["n_per_layer"]
+        n_total = self._n_layers * n_per_layer
+        dx, dy = self.grid.dx, self.grid.dy
+        thickness = self._static["thickness"]
+        k = self._conductivity_maps(k_chip)
+
+        node = np.arange(n_total).reshape(self._n_layers, rows, cols)
+        entries_i, entries_j, entries_g = [], [], []
+
+        def couple(idx_a, idx_b, g):
+            entries_i.append(idx_a.ravel())
+            entries_j.append(idx_b.ravel())
+            entries_g.append(g.ravel())
+
+        # Lateral x: series half-cells, harmonic mean of conductivities.
+        t3 = thickness[:, None, None]
+        k_a, k_b = k[:, :, :-1], k[:, :, 1:]
+        g_x = (2.0 * dy * t3 / dx) * (k_a * k_b) / (k_a + k_b)
+        couple(node[:, :, :-1], node[:, :, 1:], g_x)
+        # Lateral y.
+        k_a, k_b = k[:, :-1, :], k[:, 1:, :]
+        g_y = (2.0 * dx * t3 / dy) * (k_a * k_b) / (k_a + k_b)
+        couple(node[:, :-1, :], node[:, 1:, :], g_y)
+        # Vertical between consecutive layers.
+        cell_area = dx * dy
+        for layer in range(self._n_layers - 1):
+            r_lo = thickness[layer] / (2.0 * k[layer])
+            r_hi = thickness[layer + 1] / (2.0 * k[layer + 1])
+            g_v = cell_area / (r_lo + r_hi)
+            couple(node[layer], node[layer + 1], g_v)
+
+        i_arr = np.concatenate(entries_i)
+        j_arr = np.concatenate(entries_j)
+        g_arr = np.concatenate(entries_g)
+
+        # Ambient couplings only touch the diagonal.
+        diag = np.zeros(n_total)
+        np.add.at(diag, i_arr, g_arr)
+        np.add.at(diag, j_arr, g_arr)
+        diag_boundary = np.zeros(n_total)
+        diag_boundary[node[-1].ravel()] += self._static["g_ambient_top"]
+        if self._static["g_ambient_bot"]:
+            diag_boundary[node[0].ravel()] += self._static["g_ambient_bot"]
+        diag += diag_boundary
+
+        all_i = np.concatenate([i_arr, j_arr, np.arange(n_total)])
+        all_j = np.concatenate([j_arr, i_arr, np.arange(n_total)])
+        all_g = np.concatenate([-g_arr, -g_arr, diag])
+        return sp.coo_matrix((all_g, (all_i, all_j)), shape=(n_total, n_total))
+
+    def _assemble_rhs(self, footprints: dict, powers: dict) -> np.ndarray:
+        """Power injection plus ambient boundary sources."""
+        rows, cols = self.grid.shape
+        n_per_layer = self._static["n_per_layer"]
+        n_total = self._n_layers * n_per_layer
+        rhs = np.zeros(n_total)
+        # Chiplet power, area-weighted over covered cells.
+        power_map = np.zeros(self.grid.shape)
+        for name, rect in footprints.items():
+            power = powers.get(name, 0.0)
+            if power <= 0.0:
+                continue
+            cover = self.chip_coverage(rect)
+            covered_area = cover.sum() * self.grid.cell_area
+            if covered_area <= 0.0:
+                continue
+            power_map += cover * (power / covered_area) * self.grid.cell_area
+        chip_base = self._chip_idx * n_per_layer
+        rhs[chip_base : chip_base + n_per_layer] = power_map.ravel()
+        # Ambient sources.
+        ambient = self.config.ambient
+        top_base = (self._n_layers - 1) * n_per_layer
+        rhs[top_base : top_base + n_per_layer] += (
+            self._static["g_ambient_top"] * ambient
+        )
+        if self._static["g_ambient_bot"]:
+            rhs[0:n_per_layer] += self._static["g_ambient_bot"] * ambient
+        return rhs
+
+    # ------------------------------------------------------------------
+    # extraction helpers
+    # ------------------------------------------------------------------
+
+    def _die_max_temperature(self, chip_layer: np.ndarray, rect: Rect) -> float:
+        """Hottest cell of a die, weighted to cells mostly under the die."""
+        cover = self.chip_coverage(rect)
+        mask = cover >= 0.5
+        if not mask.any():
+            mask = cover > 0.0
+        if not mask.any():
+            return float(self.config.ambient)
+        return float(chip_layer[mask].max())
+
+    def power_map(self, placement: Placement) -> np.ndarray:
+        """Rasterized power map in W per cell (chiplet layer, package frame)."""
+        power_map = np.zeros(self.grid.shape)
+        for name, rect in placement.footprints().items():
+            power = placement.system.chiplet(name).power
+            cover = self.chip_coverage(rect)
+            covered_area = cover.sum() * self.grid.cell_area
+            if covered_area > 0.0 and power > 0.0:
+                power_map += cover * (power / covered_area) * self.grid.cell_area
+        return power_map
+
+    @classmethod
+    def for_system(
+        cls, system: ChipletSystem, config: ThermalConfig | None = None
+    ) -> "GridThermalSolver":
+        """Convenience constructor from a system (uses its interposer)."""
+        return cls(system.interposer, config)

@@ -1,0 +1,49 @@
+"""Material library for the compact thermal model.
+
+Conductivities are room-temperature bulk values from standard references
+(the same ballpark HotSpot's example configs use).  Temperature dependence
+is ignored, consistent with HotSpot's linear RC formulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Material", "MATERIALS"]
+
+
+@dataclass(frozen=True)
+class Material:
+    """A thermally homogeneous material.
+
+    Attributes
+    ----------
+    name:
+        Identifier (key in :data:`MATERIALS`).
+    conductivity:
+        Thermal conductivity k in W/(m K).
+    """
+
+    name: str
+    conductivity: float
+
+    def __post_init__(self) -> None:
+        if self.conductivity <= 0:
+            raise ValueError(f"{self.name}: conductivity must be positive")
+
+    @property
+    def conductivity_mm(self) -> float:
+        """k in W/(mm K) — the geometry code works in millimetres."""
+        return self.conductivity / 1000.0
+
+
+MATERIALS = {
+    "silicon": Material("silicon", 120.0),  # lightly doped Si near 350 K
+    "copper": Material("copper", 400.0),
+    "aluminum": Material("aluminum", 205.0),
+    "tim": Material("tim", 5.0),  # decent thermal grease / gel
+    "underfill": Material("underfill", 0.9),  # epoxy underfill between dies
+    "fr4": Material("fr4", 0.3),
+    "solder": Material("solder", 50.0),  # microbump/C4 layer, effective
+    "air": Material("air", 0.026),
+}

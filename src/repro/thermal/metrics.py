@@ -1,0 +1,40 @@
+"""Accuracy metrics for surrogate-vs-solver comparisons (paper Table II)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["error_metrics"]
+
+
+def error_metrics(predicted, reference) -> dict:
+    """MSE / RMSE / MAE / MAPE between two temperature arrays.
+
+    Parameters
+    ----------
+    predicted, reference:
+        Array-likes of equal length, in Kelvin (MAPE is computed on the
+        Kelvin values, matching the paper's sub-0.1 % figures).
+
+    Returns
+    -------
+    dict with keys ``mse`` (K^2), ``rmse`` (K), ``mae`` (K), ``mape``
+    (percent) and ``n`` (sample count).
+    """
+    pred = np.asarray(predicted, dtype=np.float64)
+    ref = np.asarray(reference, dtype=np.float64)
+    if pred.shape != ref.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {ref.shape}")
+    if pred.size == 0:
+        raise ValueError("need at least one sample")
+    if np.any(ref == 0.0):
+        raise ValueError("reference contains zeros; MAPE undefined")
+    err = pred - ref
+    mse = float(np.mean(err**2))
+    return {
+        "mse": mse,
+        "rmse": float(np.sqrt(mse)),
+        "mae": float(np.mean(np.abs(err))),
+        "mape": float(np.mean(np.abs(err / ref))) * 100.0,
+        "n": int(pred.size),
+    }

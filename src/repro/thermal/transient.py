@@ -1,0 +1,206 @@
+"""Transient thermal simulation (extension; HotSpot's second mode).
+
+The steady-state solver answers "how hot does this floorplan get";
+the transient solver answers "how fast" — relevant for duty-cycled
+accelerators where a floorplan that clears the limit in steady state may
+still overshoot during bursts, and vice versa.
+
+The RC network gains per-cell heat capacities ``C`` and is integrated
+with implicit (backward) Euler:
+
+    (C/dt + G) T_{n+1} = (C/dt) T_n + q(t_{n+1})
+
+Backward Euler is unconditionally stable, so the step size is chosen for
+accuracy only; the iteration matrix is factorized once per ``dt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.chiplet import Placement
+from repro.thermal.grid_solver import GridThermalSolver
+
+__all__ = ["VOLUMETRIC_HEAT_CAPACITY", "TransientResult", "TransientThermalSolver"]
+
+# Volumetric heat capacity in J/(mm^3 K) (= rho * c_p / 1e9).
+VOLUMETRIC_HEAT_CAPACITY = {
+    "silicon": 1.66e-3,
+    "copper": 3.45e-3,
+    "aluminum": 2.42e-3,
+    "tim": 2.0e-3,
+    "underfill": 1.7e-3,
+    "fr4": 1.6e-3,
+    "solder": 1.7e-3,
+    "air": 1.2e-6,
+}
+
+
+@dataclass
+class TransientResult:
+    """Time series of one transient simulation."""
+
+    times: np.ndarray
+    max_temperature: np.ndarray  # K, hottest chiplet-layer cell over time
+    chiplet_temperatures: dict  # name -> array over time (K)
+    final_field: np.ndarray  # (L, R, C) temperatures at the end
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def final_max_temperature(self) -> float:
+        return float(self.max_temperature[-1])
+
+    def time_to_fraction(self, fraction: float = 0.9) -> float:
+        """First time the max rise reaches ``fraction`` of its final rise.
+
+        The classic step-response metric (0.9 -> "t90").
+        """
+        if not 0.0 < fraction < 1.0:
+            raise ValueError("fraction must be in (0, 1)")
+        rise = self.max_temperature - self.max_temperature[0]
+        final_rise = rise[-1]
+        if final_rise <= 0:
+            raise ValueError("no temperature rise in this simulation")
+        above = np.flatnonzero(rise >= fraction * final_rise)
+        if not len(above):
+            raise ValueError("simulation too short to reach the fraction")
+        return float(self.times[above[0]])
+
+
+class TransientThermalSolver:
+    """Implicit-Euler integrator over a :class:`GridThermalSolver` network.
+
+    Parameters
+    ----------
+    solver:
+        The steady-state solver whose conductance matrix and package
+        geometry are reused.  Must be in the default homogeneous mode
+        (the matrix is then placement-independent).
+    dt:
+        Time step in seconds.  Package-level thermal time constants are
+        O(1-100 s); 0.25 s resolves them comfortably.
+    """
+
+    def __init__(self, solver: GridThermalSolver, dt: float = 0.25):
+        if dt <= 0:
+            raise ValueError("dt must be positive")
+        if solver.config.heterogeneous_chiplet_layer:
+            raise ValueError(
+                "transient solver requires the homogeneous chiplet layer"
+            )
+        self.solver = solver
+        self.dt = dt
+        self._capacitance = self._cell_capacitances()
+        conductance = solver._assemble_matrix(
+            solver._chiplet_layer_conductivity({})
+        ).tocsc()
+        iteration_matrix = (
+            sp.diags(self._capacitance / dt).tocsc() + conductance
+        )
+        self._step_factor = spla.factorized(iteration_matrix)
+
+    def _cell_capacitances(self) -> np.ndarray:
+        """Per-node heat capacity in J/K, layer by layer."""
+        solver = self.solver
+        grid = solver.grid
+        cell_area = grid.cell_area
+        caps = []
+        core = solver._core_cover.ravel()
+        for layer in solver.config.stack.layers:
+            volume = cell_area * layer.thickness
+            c_core = VOLUMETRIC_HEAT_CAPACITY[layer.material.name] * volume
+            if layer.periphery_material is not None:
+                c_peri = (
+                    VOLUMETRIC_HEAT_CAPACITY[layer.periphery_material.name]
+                    * volume
+                )
+                caps.append(core * c_core + (1.0 - core) * c_peri)
+            else:
+                caps.append(np.full(grid.n_cells, c_core))
+        return np.concatenate(caps)
+
+    # ------------------------------------------------------------------
+
+    def simulate(
+        self,
+        placement: Placement,
+        duration: float,
+        power_scale=None,
+        initial_field: np.ndarray | None = None,
+    ) -> TransientResult:
+        """Integrate the package temperature over ``duration`` seconds.
+
+        Parameters
+        ----------
+        placement:
+            The floorplan whose power map drives the simulation.
+        duration:
+            Simulated time in seconds.
+        power_scale:
+            Optional ``f(t) -> float`` multiplying all chiplet powers at
+            time ``t`` (duty cycling); default is a unit step.
+        initial_field:
+            Starting temperatures, shape ``(L, R, C)``; defaults to
+            ambient everywhere.
+        """
+        solver = self.solver
+        n_steps = max(int(round(duration / self.dt)), 1)
+        footprints = placement.footprints()
+        powers = {
+            name: placement.system.chiplet(name).power for name in footprints
+        }
+        rhs_full = solver._assemble_rhs(footprints, powers)
+        rhs_ambient = solver._assemble_rhs({}, {})
+        rhs_power = rhs_full - rhs_ambient  # pure injection part
+
+        if initial_field is None:
+            temps = np.full(rhs_full.shape, solver.config.ambient)
+        else:
+            temps = np.asarray(initial_field, dtype=np.float64).ravel().copy()
+            if temps.shape != rhs_full.shape:
+                raise ValueError("initial_field has the wrong shape")
+
+        chip_idx = solver.config.stack.chiplet_layer_index
+        rows, cols = solver.grid.shape
+        n_per_layer = rows * cols
+        chip_slice = slice(chip_idx * n_per_layer, (chip_idx + 1) * n_per_layer)
+        die_masks = {
+            name: (solver.chip_coverage(rect) >= 0.5).ravel()
+            for name, rect in footprints.items()
+        }
+
+        times = np.empty(n_steps + 1)
+        max_trace = np.empty(n_steps + 1)
+        die_traces = {name: np.empty(n_steps + 1) for name in footprints}
+        c_over_dt = self._capacitance / self.dt
+
+        def record(step: int, t: float) -> None:
+            chip_layer = temps[chip_slice]
+            times[step] = t
+            max_trace[step] = chip_layer.max()
+            for name, mask in die_masks.items():
+                die_traces[name][step] = (
+                    chip_layer[mask].max() if mask.any() else temps.max()
+                )
+
+        record(0, 0.0)
+        for step in range(1, n_steps + 1):
+            t = step * self.dt
+            scale = 1.0 if power_scale is None else float(power_scale(t))
+            rhs = c_over_dt * temps + rhs_ambient + scale * rhs_power
+            temps = self._step_factor(rhs)
+            record(step, t)
+
+        return TransientResult(
+            times=times,
+            max_temperature=max_trace,
+            chiplet_temperatures=die_traces,
+            final_field=temps.reshape(
+                solver.config.stack.n_layers, rows, cols
+            ),
+            metadata={"dt": self.dt, "n_steps": n_steps},
+        )

@@ -1,0 +1,28 @@
+"""Lightweight logging setup shared by trainers and experiment scripts."""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+__all__ = ["get_logger"]
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+_configured = False
+
+
+def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
+    """Return a logger writing to stderr with a single shared handler.
+
+    Safe to call repeatedly; the root configuration happens once.
+    """
+    global _configured
+    if not _configured:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+        root = logging.getLogger("repro")
+        root.addHandler(handler)
+        root.setLevel(level)
+        root.propagate = False
+        _configured = True
+    return logging.getLogger(name if name.startswith("repro") else f"repro.{name}")

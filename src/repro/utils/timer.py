@@ -1,0 +1,77 @@
+"""Wall-clock timing helpers used by the experiment harness.
+
+The paper reports runtimes for every method in Table I; these helpers give
+a uniform way to measure and accumulate those times.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Timer", "timed"]
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    laps: list = field(default_factory=list)
+    _start: float | None = None
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("Timer already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer not running")
+        lap = time.perf_counter() - self._start
+        self._start = None
+        self.elapsed += lap
+        self.laps.append(lap)
+        return lap
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self.laps.clear()
+        self._start = None
+
+    @property
+    def mean_lap(self) -> float:
+        """Average duration of completed laps (0.0 when none)."""
+        return self.elapsed / len(self.laps) if self.laps else 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+@contextmanager
+def timed(sink: dict, key: str):
+    """Context manager that adds the elapsed seconds to ``sink[key]``.
+
+    >>> stats = {}
+    >>> with timed(stats, "solve"):
+    ...     pass
+    >>> stats["solve"] >= 0.0
+    True
+    """
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        sink[key] = sink.get(key, 0.0) + (time.perf_counter() - start)

@@ -1,0 +1,5 @@
+"""Text rendering of floorplans and thermal fields."""
+
+from repro.viz.ascii_plot import render_floorplan, render_thermal_map
+
+__all__ = ["render_floorplan", "render_thermal_map"]

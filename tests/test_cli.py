@@ -1,0 +1,117 @@
+"""CLI tests (heavy experiment paths are monkeypatched)."""
+
+import json
+
+import pytest
+
+import repro.cli as cli
+from repro.experiments import ExperimentBudget, MethodResult
+
+
+@pytest.fixture
+def fake_results():
+    return [
+        MethodResult(
+            system="multi_gpu",
+            method="RLPlanner",
+            reward=-10.0,
+            wirelength=1000.0,
+            temperature_c=80.0,
+            runtime_s=1.0,
+        )
+    ]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            cli.main(["frobnicate"])
+
+    def test_train_requires_known_benchmark(self):
+        with pytest.raises(SystemExit):
+            cli.main(["train", "not_a_benchmark"])
+
+
+class TestBudgetConstruction:
+    def test_custom_budget_passed(self, monkeypatch, fake_results):
+        captured = {}
+
+        def fake_run_table1(budget):
+            captured["budget"] = budget
+            return fake_results
+
+        monkeypatch.setattr(cli, "run_table1", fake_run_table1)
+        cli.main(["table1", "--epochs", "5", "--grid", "16", "--seed", "3"])
+        budget = captured["budget"]
+        assert budget.rl_epochs == 5
+        assert budget.grid_size == 16
+        assert budget.seed == 3
+
+    def test_paper_scale_flag(self, monkeypatch, fake_results):
+        captured = {}
+        monkeypatch.setattr(
+            cli, "run_table3", lambda budget: captured.setdefault("b", budget) or fake_results
+        )
+        cli.main(["table3", "--paper-scale"])
+        assert captured["b"] == ExperimentBudget.paper_scale()
+
+
+class TestCommands:
+    def test_table1_with_output(self, monkeypatch, fake_results, tmp_path):
+        monkeypatch.setattr(cli, "run_table1", lambda budget: fake_results)
+        out = tmp_path / "t1.json"
+        assert cli.main(["table1", "--output", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["results"][0]["method"] == "RLPlanner"
+
+    def test_table2_with_output(self, monkeypatch, tmp_path, capsys):
+        class FakeResult:
+            metrics = {"mse": 0.1, "rmse": 0.3, "mae": 0.2, "mape": 0.05, "n": 4}
+            speedup = 100.0
+            n_systems = 4
+
+            def format(self):
+                return "FAKE TABLE2"
+
+        monkeypatch.setattr(
+            cli, "run_table2", lambda n_systems, seed: FakeResult()
+        )
+        out = tmp_path / "t2.json"
+        assert cli.main(["table2", "--systems", "4", "--output", str(out)]) == 0
+        assert "FAKE TABLE2" in capsys.readouterr().out
+        assert json.loads(out.read_text())["speedup"] == 100.0
+
+    def test_train_dispatch(self, monkeypatch, fake_results, capsys):
+        captured = {}
+
+        def fake_run_all(spec, budget, methods):
+            captured["methods"] = methods
+            return fake_results
+
+        monkeypatch.setattr(cli, "run_all_methods", fake_run_all)
+        assert cli.main(["train", "multi_gpu", "--rnd"]) == 0
+        assert captured["methods"] == ("RLPlanner(RND)",)
+        assert "RLPlanner" in capsys.readouterr().out
+
+    def test_sa_dispatch_variants(self, monkeypatch, fake_results):
+        captured = {}
+
+        def fake_run_all(spec, budget, methods):
+            captured.setdefault("calls", []).append(methods)
+            return fake_results
+
+        monkeypatch.setattr(cli, "run_all_methods", fake_run_all)
+        cli.main(["sa", "cpu_dram"])
+        cli.main(["sa", "cpu_dram", "--thermal", "fast"])
+        assert captured["calls"] == [
+            ("TAP-2.5D(HotSpot)",),
+            ("TAP-2.5D*(FastThermal)",),
+        ]
+
+    def test_ablations_dispatch(self, monkeypatch, fake_results):
+        monkeypatch.setattr(cli, "run_ablations", lambda budget: fake_results)
+        assert cli.main(["ablations"]) == 0

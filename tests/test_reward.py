@@ -1,0 +1,124 @@
+"""Tests for the joint wirelength/temperature reward."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chiplet import Placement
+from repro.reward import RewardCalculator, RewardConfig
+
+
+class TestRewardConfig:
+    def test_penalty_zero_below_limit(self):
+        config = RewardConfig(t_limit=85.0)
+        assert config.thermal_penalty(60.0) == 0.0
+        assert config.thermal_penalty(85.0) == 0.0
+
+    def test_penalty_positive_above_limit(self):
+        config = RewardConfig(t_limit=85.0, alpha=1.0)
+        assert config.thermal_penalty(90.0) > 0.0
+
+    def test_penalty_formula(self):
+        config = RewardConfig(t_limit=85.0, alpha=1.0, mu=1.0)
+        t = 91.15
+        expected = (t - 85.0) / (1.0 + math.exp(-(t - 85.0)))
+        assert config.thermal_penalty(t) == pytest.approx(expected)
+
+    def test_alpha_shapes_growth(self):
+        soft = RewardConfig(t_limit=85.0, alpha=0.5)
+        hard = RewardConfig(t_limit=85.0, alpha=2.0)
+        assert hard.thermal_penalty(95.0) > soft.thermal_penalty(95.0)
+
+    def test_combine_weights(self):
+        config = RewardConfig(lambda_wl=1e-3, mu=2.0, t_limit=85.0, alpha=1.0)
+        r = config.combine(10_000.0, 80.0)
+        assert r == pytest.approx(-10.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RewardConfig(lambda_wl=-1.0)
+        with pytest.raises(ValueError):
+            RewardConfig(alpha=0.0)
+
+    @given(t=st.floats(0.0, 200.0, allow_nan=False))
+    def test_penalty_nonnegative_and_monotone(self, t):
+        config = RewardConfig(t_limit=85.0, alpha=1.0)
+        p1 = config.thermal_penalty(t)
+        p2 = config.thermal_penalty(t + 1.0)
+        assert p1 >= 0.0
+        assert p2 >= p1
+
+    @given(
+        w=st.floats(0.0, 1e6, allow_nan=False),
+        t=st.floats(0.0, 150.0, allow_nan=False),
+    )
+    def test_reward_never_positive(self, w, t):
+        config = RewardConfig()
+        assert config.combine(w, t) <= 0.0
+
+    def test_penalty_continuous_at_limit(self):
+        config = RewardConfig(t_limit=85.0, alpha=1.0)
+        eps = 1e-6
+        assert config.thermal_penalty(85.0 + eps) == pytest.approx(0.0, abs=1e-5)
+
+
+class TestRewardCalculator:
+    def _legal_placement(self, system):
+        p = Placement(system)
+        p.place("hot", 1, 1)
+        p.place("warm", 1, 20)
+        p.place("cold", 20, 1)
+        return p
+
+    def test_breakdown_fields(self, small_system, small_fast_model):
+        calc = RewardCalculator(small_fast_model)
+        breakdown = calc.evaluate(self._legal_placement(small_system))
+        assert breakdown.reward <= 0.0
+        assert breakdown.wirelength > 0.0
+        assert breakdown.max_temperature_c > 45.0
+        assert breakdown.elapsed >= 0.0
+        assert calc.evaluation_count == 1
+
+    def test_estimator_mode_faster_same_sign(self, small_system, small_fast_model):
+        placement = self._legal_placement(small_system)
+        assigned = RewardCalculator(
+            small_fast_model, RewardConfig(use_bump_assignment=True)
+        ).evaluate(placement)
+        estimated = RewardCalculator(
+            small_fast_model, RewardConfig(use_bump_assignment=False)
+        ).evaluate(placement)
+        assert estimated.reward <= 0.0
+        # Same temperature either way; wirelength differs by bounded factor.
+        assert estimated.max_temperature_c == pytest.approx(
+            assigned.max_temperature_c
+        )
+        assert 0.3 < estimated.wirelength / assigned.wirelength < 3.0
+
+    def test_solver_and_fast_model_agree(
+        self, small_system, small_solver, small_fast_model
+    ):
+        placement = self._legal_placement(small_system)
+        r_ref = RewardCalculator(small_solver).evaluate(placement)
+        r_fast = RewardCalculator(small_fast_model).evaluate(placement)
+        assert r_fast.max_temperature_c == pytest.approx(
+            r_ref.max_temperature_c, abs=1.5
+        )
+        assert r_fast.wirelength == pytest.approx(r_ref.wirelength)
+
+    def test_spread_placement_cooler_than_clustered(
+        self, small_system, small_fast_model
+    ):
+        """Moving neighbours away from the hot die must cool it down."""
+        calc = RewardCalculator(small_fast_model)
+        clustered = Placement(small_system)
+        clustered.place("hot", 11, 11)
+        clustered.place("warm", 19.2, 11)
+        clustered.place("cold", 11, 19.2)
+        spread = Placement(small_system)
+        spread.place("hot", 11, 11)
+        spread.place("warm", 24, 0)
+        spread.place("cold", 0, 24)
+        t_clustered = calc.evaluate(clustered).max_temperature_c
+        t_spread = calc.evaluate(spread).max_temperature_c
+        assert t_clustered > t_spread

@@ -1,0 +1,175 @@
+"""Tests for running statistics, episodes, GAE and the rollout buffer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rl import Episode, RolloutBuffer, RunningMeanStd
+from repro.rl.schedule import linear_schedule
+
+
+class TestRunningMeanStd:
+    def test_matches_numpy_on_stream(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(3.0, 2.0, size=(1000, 4))
+        stats = RunningMeanStd(shape=(4,))
+        for chunk in np.array_split(data, 10):
+            stats.update(chunk)
+        np.testing.assert_allclose(stats.mean, data.mean(axis=0), atol=1e-2)
+        np.testing.assert_allclose(stats.std, data.std(axis=0), atol=1e-2)
+
+    def test_scalar_shape(self):
+        stats = RunningMeanStd(shape=())
+        stats.update(np.array([1.0, 2.0, 3.0]))
+        assert stats.mean == pytest.approx(2.0, abs=0.01)
+
+    def test_normalize(self):
+        stats = RunningMeanStd(shape=(2,))
+        stats.update(np.array([[0.0, 10.0]] * 100 + [[2.0, 20.0]] * 100))
+        normalized = stats.normalize(np.array([[1.0, 15.0]]))
+        np.testing.assert_allclose(normalized, 0.0, atol=0.05)
+
+    def test_normalize_without_center(self):
+        stats = RunningMeanStd(shape=())
+        stats.update(np.full(100, 4.0) + np.random.default_rng(0).normal(0, 1, 100))
+        scaled = stats.normalize(np.array([2.0]), center=False)
+        assert scaled[0] == pytest.approx(2.0 / stats.std, rel=1e-6)
+
+    @settings(max_examples=20)
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=50))
+    def test_variance_nonnegative(self, values):
+        stats = RunningMeanStd(shape=())
+        stats.update(np.array(values))
+        assert stats.var >= 0.0
+
+
+class TestEpisode:
+    def _step_args(self):
+        return (np.zeros((2, 3, 3)), np.ones(9, bool), 4, -2.0, 0.5)
+
+    def test_add_and_terminal(self):
+        ep = Episode()
+        ep.add_step(*self._step_args())
+        ep.add_step(*self._step_args())
+        ep.set_terminal_reward(-7.5)
+        assert ep.length == 2
+        assert ep.rewards == [0.0, -7.5]
+        assert ep.total_reward == -7.5
+
+    def test_terminal_on_empty_raises(self):
+        with pytest.raises(RuntimeError):
+            Episode().set_terminal_reward(1.0)
+
+
+class TestGAE:
+    def test_single_step(self):
+        buffer = RolloutBuffer(gamma=0.9, gae_lambda=0.8)
+        adv = buffer._gae(np.array([10.0]), np.array([4.0]))
+        np.testing.assert_allclose(adv, [6.0])
+
+    def test_two_step_hand_computed(self):
+        buffer = RolloutBuffer(gamma=1.0, gae_lambda=1.0)
+        rewards = np.array([0.0, 10.0])
+        values = np.array([3.0, 5.0])
+        # With gamma=lambda=1: advantage_t = sum(rewards[t:]) - values[t]
+        adv = buffer._gae(rewards, values)
+        np.testing.assert_allclose(adv, [7.0, 5.0])
+
+    def test_gamma_zero_is_td0(self):
+        buffer = RolloutBuffer(gamma=0.0, gae_lambda=0.95)
+        rewards = np.array([1.0, 2.0, 3.0])
+        values = np.array([0.5, 0.5, 0.5])
+        adv = buffer._gae(rewards, values)
+        np.testing.assert_allclose(adv, rewards - values)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RolloutBuffer(gamma=1.5)
+        with pytest.raises(ValueError):
+            RolloutBuffer(gae_lambda=-0.1)
+
+
+class TestRolloutBuffer:
+    def _episode(self, rewards, n_actions=6):
+        ep = Episode()
+        for r in rewards:
+            ep.add_step(
+                np.random.default_rng(0).normal(size=(1, 2, 2)),
+                np.ones(n_actions, bool),
+                1,
+                -1.7,
+                0.3,
+                reward=r,
+            )
+        return ep
+
+    def test_requires_episodes(self):
+        with pytest.raises(RuntimeError):
+            RolloutBuffer().compute()
+
+    def test_empty_episode_rejected(self):
+        with pytest.raises(ValueError):
+            RolloutBuffer().add_episode(Episode())
+
+    def test_flattening_shapes(self):
+        buffer = RolloutBuffer()
+        buffer.add_episode(self._episode([0.0, 0.0, -5.0]))
+        buffer.add_episode(self._episode([0.0, -3.0]))
+        batch = buffer.compute()
+        assert batch.size == 5
+        assert batch.observations.shape == (5, 1, 2, 2)
+        assert batch.masks.shape == (5, 6)
+        assert buffer.n_steps == 5
+
+    def test_advantage_normalization(self):
+        buffer = RolloutBuffer(normalize_advantages=True)
+        buffer.add_episode(self._episode([0.0, -5.0]))
+        buffer.add_episode(self._episode([0.0, -1.0]))
+        batch = buffer.compute()
+        assert abs(batch.advantages.mean()) < 1e-8
+        assert batch.advantages.std() == pytest.approx(1.0, abs=1e-6)
+
+    def test_intrinsic_rewards_added(self):
+        buffer = RolloutBuffer(gamma=1.0, gae_lambda=1.0, normalize_advantages=False)
+        episode = self._episode([0.0, -4.0])
+        buffer.add_episode(episode, intrinsic_rewards=np.array([1.0, 1.0]))
+        batch = buffer.compute()
+        # Return at t=0 with gamma=1: sum of combined rewards = -2.0
+        assert batch.returns[0] == pytest.approx(-2.0)
+
+    def test_intrinsic_shape_mismatch(self):
+        buffer = RolloutBuffer()
+        with pytest.raises(ValueError):
+            buffer.add_episode(
+                self._episode([0.0, -1.0]), intrinsic_rewards=np.array([1.0])
+            )
+
+    def test_minibatches_cover_everything(self):
+        buffer = RolloutBuffer()
+        buffer.add_episode(self._episode([0.0] * 7))
+        batch = buffer.compute()
+        rng = np.random.default_rng(0)
+        seen = 0
+        for mini in batch.minibatches(3, rng):
+            seen += mini.size
+            assert mini.size <= 3
+        assert seen == 7
+
+    def test_clear(self):
+        buffer = RolloutBuffer()
+        buffer.add_episode(self._episode([0.0]))
+        buffer.clear()
+        assert buffer.n_steps == 0
+
+
+class TestSchedule:
+    def test_endpoints(self):
+        assert linear_schedule(1.0, 0.0, 0.0) == 1.0
+        assert linear_schedule(1.0, 0.0, 1.0) == 0.0
+
+    def test_midpoint(self):
+        assert linear_schedule(2.0, 4.0, 0.5) == pytest.approx(3.0)
+
+    def test_clamping(self):
+        assert linear_schedule(1.0, 0.0, -1.0) == 1.0
+        assert linear_schedule(1.0, 0.0, 2.0) == 0.0

@@ -1,0 +1,185 @@
+"""Tests for PPO and RND on small synthetic problems."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Adam, Linear, MaskedCategorical, Module, Tensor
+from repro.rl import (
+    Episode,
+    PPOConfig,
+    PPOUpdater,
+    RNDConfig,
+    RandomNetworkDistillation,
+    RolloutBuffer,
+)
+
+
+class TinyPolicy(Module):
+    """Linear actor-critic over flat observations (for bandit tests)."""
+
+    def __init__(self, obs_dim, n_actions, rng):
+        self.policy = Linear(obs_dim, n_actions, gain=0.01, rng=rng)
+        self.value = Linear(obs_dim, 1, gain=1.0, rng=rng)
+
+    def evaluate(self, observations, masks):
+        obs = Tensor(np.asarray(observations, dtype=np.float64).reshape(
+            len(observations), -1
+        ))
+        logits = self.policy(obs)
+        values = self.value(obs).reshape(-1)
+        return MaskedCategorical(logits, np.asarray(masks, bool)), values
+
+
+def _bandit_rollout(network, rng, n_episodes=64, n_actions=4):
+    """One-step bandit: action k yields reward -|k - 2| (best action 2)."""
+    buffer = RolloutBuffer(gamma=1.0, gae_lambda=1.0)
+    obs = np.ones((1, 1, 1))
+    mask = np.ones(n_actions, bool)
+    for _ in range(n_episodes):
+        dist, values = network.evaluate(obs[None], mask[None])
+        action = int(dist.sample(rng)[0])
+        log_prob = float(dist.log_prob(np.array([action])).data[0])
+        episode = Episode()
+        episode.add_step(
+            obs, mask, action, log_prob, float(values.data[0]),
+            reward=-abs(action - 2),
+        )
+        buffer.add_episode(episode)
+    return buffer.compute()
+
+
+class TestPPOConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PPOConfig(clip_ratio=0.0)
+        with pytest.raises(ValueError):
+            PPOConfig(update_epochs=0)
+
+
+class TestPPOUpdater:
+    def test_learns_bandit(self):
+        rng = np.random.default_rng(0)
+        network = TinyPolicy(1, 4, rng)
+        optimizer = Adam(network.parameters(), lr=0.02)
+        updater = PPOUpdater(network, optimizer, PPOConfig(minibatch_size=32))
+        for _ in range(30):
+            batch = _bandit_rollout(network, rng)
+            updater.update(batch, rng)
+        dist, _ = network.evaluate(np.ones((1, 1, 1, 1)), np.ones((1, 4), bool))
+        assert dist.probs[0].argmax() == 2
+        assert dist.probs[0, 2] > 0.6
+
+    def test_update_stats_keys(self):
+        rng = np.random.default_rng(1)
+        network = TinyPolicy(1, 4, rng)
+        updater = PPOUpdater(network, Adam(network.parameters(), lr=1e-3))
+        batch = _bandit_rollout(network, rng, n_episodes=16)
+        stats = updater.update(batch, rng)
+        for key in (
+            "policy_loss",
+            "value_loss",
+            "entropy",
+            "approx_kl",
+            "clip_fraction",
+            "n_updates",
+        ):
+            assert key in stats
+        assert stats["n_updates"] >= 1
+
+    def test_value_head_fits_returns(self):
+        rng = np.random.default_rng(2)
+        network = TinyPolicy(1, 4, rng)
+        optimizer = Adam(network.parameters(), lr=0.05)
+        # Disable KL early stop so the value head keeps training.
+        updater = PPOUpdater(
+            network, optimizer, PPOConfig(target_kl=None, update_epochs=8)
+        )
+        for _ in range(30):
+            batch = _bandit_rollout(network, rng, n_episodes=32)
+            updater.update(batch, rng)
+        _, values = network.evaluate(
+            np.ones((1, 1, 1, 1)), np.ones((1, 4), bool)
+        )
+        # Optimal policy reward is 0; trained value should approach it
+        # from below as the policy concentrates.
+        assert values.data[0] > -1.5
+
+    def test_kl_early_stop_triggers_with_huge_lr(self):
+        rng = np.random.default_rng(3)
+        network = TinyPolicy(1, 4, rng)
+        optimizer = Adam(network.parameters(), lr=5.0)
+        updater = PPOUpdater(
+            network, optimizer, PPOConfig(target_kl=0.01, update_epochs=10)
+        )
+        batch = _bandit_rollout(network, rng, n_episodes=32)
+        stats = updater.update(batch, rng)
+        assert stats["early_stopped"] or stats["n_updates"] < 10 * 1
+
+
+class TestRND:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RNDConfig(embed_dim=0)
+        with pytest.raises(ValueError):
+            RNDConfig(learning_rate=0.0)
+
+    def test_bonus_shape_and_positivity(self):
+        rnd = RandomNetworkDistillation(8, rng=np.random.default_rng(0))
+        obs = np.random.default_rng(1).normal(size=(5, 8))
+        bonus = rnd.intrinsic_reward(obs)
+        assert bonus.shape == (5,)
+        assert (bonus >= 0).all()
+
+    def test_wrong_dim_rejected(self):
+        rnd = RandomNetworkDistillation(8, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            rnd.intrinsic_reward(np.zeros((2, 9)))
+
+    def test_training_reduces_error_on_seen_states(self):
+        rng = np.random.default_rng(0)
+        rnd = RandomNetworkDistillation(
+            6, RNDConfig(learning_rate=1e-3), rng=rng
+        )
+        seen = rng.normal(size=(64, 6))
+        before = rnd.raw_bonus(seen, update_stats=True).mean()
+        for _ in range(200):
+            rnd.update(seen)
+        after = rnd.raw_bonus(seen, update_stats=False).mean()
+        assert after < before * 0.5
+
+    def test_novel_states_scored_higher_than_seen(self):
+        rng = np.random.default_rng(1)
+        rnd = RandomNetworkDistillation(
+            6, RNDConfig(learning_rate=1e-3), rng=rng
+        )
+        seen = rng.normal(size=(64, 6))
+        rnd.intrinsic_reward(seen)  # prime the normalizers
+        for _ in range(300):
+            rnd.update(seen)
+        novel = rng.normal(loc=5.0, size=(64, 6))
+        seen_bonus = rnd.raw_bonus(seen, update_stats=False).mean()
+        novel_bonus = rnd.raw_bonus(novel, update_stats=False).mean()
+        assert novel_bonus > seen_bonus
+
+    def test_target_is_frozen(self):
+        rnd = RandomNetworkDistillation(4, rng=np.random.default_rng(0))
+        target_params = [p.data.copy() for p in rnd.target.parameters()]
+        obs = np.random.default_rng(2).normal(size=(16, 4))
+        rnd.intrinsic_reward(obs)
+        for _ in range(5):
+            rnd.update(obs)
+        for before, param in zip(target_params, rnd.target.parameters()):
+            np.testing.assert_array_equal(before, param.data)
+
+    def test_bonus_scale(self):
+        rng = np.random.default_rng(3)
+        obs = rng.normal(size=(32, 4))
+        rnd1 = RandomNetworkDistillation(
+            4, RNDConfig(bonus_scale=1.0), rng=np.random.default_rng(42)
+        )
+        rnd2 = RandomNetworkDistillation(
+            4, RNDConfig(bonus_scale=2.0), rng=np.random.default_rng(42)
+        )
+        b1 = rnd1.intrinsic_reward(obs)
+        b2 = rnd2.intrinsic_reward(obs)
+        np.testing.assert_allclose(b2, 2.0 * b1, rtol=1e-9)

@@ -1,0 +1,137 @@
+"""Tests for the transient thermal solver (extension)."""
+
+import numpy as np
+import pytest
+
+from repro.chiplet import Chiplet, ChipletSystem, Placement
+from repro.thermal import GridThermalSolver, ThermalConfig
+from repro.thermal.transient import (
+    TransientThermalSolver,
+    VOLUMETRIC_HEAT_CAPACITY,
+)
+
+
+@pytest.fixture(scope="module")
+def setup(request):
+    from repro.chiplet import Interposer
+
+    interposer = Interposer(30.0, 30.0)
+    config = ThermalConfig(rows=24, cols=24, package_margin=8.0)
+    solver = GridThermalSolver(interposer, config, reuse_factorization=True)
+    system = ChipletSystem(
+        "transient", interposer, (Chiplet("die", 8.0, 8.0, 40.0),)
+    )
+    placement = Placement(system)
+    placement.place("die", 11.0, 11.0)
+    return solver, config, placement
+
+
+class TestConstruction:
+    def test_rejects_bad_dt(self, setup):
+        solver, _, _ = setup
+        with pytest.raises(ValueError):
+            TransientThermalSolver(solver, dt=0.0)
+
+    def test_rejects_heterogeneous_mode(self):
+        from repro.chiplet import Interposer
+
+        config = ThermalConfig(
+            rows=16, cols=16, package_margin=4.0, heterogeneous_chiplet_layer=True
+        )
+        solver = GridThermalSolver(Interposer(20, 20), config)
+        with pytest.raises(ValueError, match="homogeneous"):
+            TransientThermalSolver(solver)
+
+    def test_capacity_table_covers_default_stack(self, setup):
+        solver, config, _ = setup
+        for layer in config.stack.layers:
+            assert layer.material.name in VOLUMETRIC_HEAT_CAPACITY
+
+
+class TestPhysics:
+    def test_zero_power_stays_ambient(self, setup):
+        solver, config, placement = setup
+        system = placement.system
+        cold = ChipletSystem(
+            "cold", system.interposer, (Chiplet("die", 8.0, 8.0, 0.0),)
+        )
+        p = Placement(cold)
+        p.place("die", 11.0, 11.0)
+        transient = TransientThermalSolver(solver, dt=0.5)
+        result = transient.simulate(p, duration=5.0)
+        np.testing.assert_allclose(
+            result.max_temperature, config.ambient, atol=1e-9
+        )
+
+    def test_monotone_step_response(self, setup):
+        solver, _, placement = setup
+        transient = TransientThermalSolver(solver, dt=0.5)
+        result = transient.simulate(placement, duration=20.0)
+        diffs = np.diff(result.max_temperature)
+        assert (diffs >= -1e-9).all()
+        assert result.max_temperature[0] < result.max_temperature[-1]
+
+    def test_converges_to_steady_state(self, setup):
+        solver, _, placement = setup
+        steady = solver.evaluate(placement).max_temperature
+        transient = TransientThermalSolver(solver, dt=2.0)
+        result = transient.simulate(placement, duration=2000.0)
+        assert result.final_max_temperature == pytest.approx(steady, abs=0.3)
+
+    def test_power_off_cools_back_down(self, setup):
+        solver, config, placement = setup
+        transient = TransientThermalSolver(solver, dt=0.5)
+        heat = transient.simulate(placement, duration=30.0)
+        cool = transient.simulate(
+            placement,
+            duration=2000.0,
+            power_scale=lambda t: 0.0,
+            initial_field=heat.final_field,
+        )
+        assert cool.max_temperature[-1] == pytest.approx(
+            config.ambient, abs=0.3
+        )
+        assert cool.max_temperature[0] > cool.max_temperature[-1]
+
+    def test_duty_cycle_cooler_than_constant(self, setup):
+        solver, _, placement = setup
+        transient = TransientThermalSolver(solver, dt=0.5)
+        constant = transient.simulate(placement, duration=60.0)
+        pulsed = transient.simulate(
+            placement,
+            duration=60.0,
+            power_scale=lambda t: 1.0 if (t % 10.0) < 5.0 else 0.0,
+        )
+        assert pulsed.max_temperature.max() < constant.max_temperature.max()
+
+    def test_per_die_traces_present(self, setup):
+        solver, _, placement = setup
+        transient = TransientThermalSolver(solver, dt=1.0)
+        result = transient.simulate(placement, duration=5.0)
+        assert "die" in result.chiplet_temperatures
+        assert len(result.chiplet_temperatures["die"]) == len(result.times)
+
+
+class TestMetrics:
+    def test_time_to_fraction(self, setup):
+        solver, _, placement = setup
+        transient = TransientThermalSolver(solver, dt=0.5)
+        result = transient.simulate(placement, duration=300.0)
+        t50 = result.time_to_fraction(0.5)
+        t90 = result.time_to_fraction(0.9)
+        assert 0.0 < t50 < t90 <= 300.0
+
+    def test_time_to_fraction_validation(self, setup):
+        solver, config, placement = setup
+        transient = TransientThermalSolver(solver, dt=0.5)
+        result = transient.simulate(placement, duration=10.0)
+        with pytest.raises(ValueError):
+            result.time_to_fraction(1.5)
+
+    def test_bad_initial_field_rejected(self, setup):
+        solver, _, placement = setup
+        transient = TransientThermalSolver(solver, dt=0.5)
+        with pytest.raises(ValueError, match="shape"):
+            transient.simulate(
+                placement, duration=1.0, initial_field=np.zeros((2, 2))
+            )

@@ -1,0 +1,85 @@
+"""Tests for seeding, timers and logging utilities."""
+
+import logging
+import time
+
+import pytest
+
+from repro.utils import SeedSequence, Timer, get_logger, new_rng, timed
+from repro.utils.seeding import derive_seed
+
+
+class TestSeeding:
+    def test_same_seed_same_stream(self):
+        a = new_rng(42).random(5)
+        b = new_rng(42).random(5)
+        assert (a == b).all()
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "env") == derive_seed(1, "env")
+
+    def test_derive_seed_differs_by_stream(self):
+        assert derive_seed(1, "env") != derive_seed(1, "ppo")
+
+    def test_derive_seed_differs_by_base(self):
+        assert derive_seed(1, "env") != derive_seed(2, "env")
+
+    def test_seed_sequence_reproducible(self):
+        s1 = SeedSequence(7).rng("x").random(3)
+        s2 = SeedSequence(7).rng("x").random(3)
+        assert (s1 == s2).all()
+
+    def test_seed_sequence_streams_independent(self):
+        seq = SeedSequence(7)
+        assert not (seq.rng("a").random(3) == seq.rng("b").random(3)).all()
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.02
+        assert len(t.laps) == 2
+        assert t.mean_lap == pytest.approx(t.elapsed / 2)
+
+    def test_double_start_raises(self):
+        t = Timer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+        t.stop()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0 and not t.laps
+
+    def test_timed_context(self):
+        stats = {}
+        with timed(stats, "work"):
+            time.sleep(0.005)
+        with timed(stats, "work"):
+            pass
+        assert stats["work"] >= 0.005
+
+
+class TestLogger:
+    def test_namespacing(self):
+        logger = get_logger("trainer")
+        assert logger.name == "repro.trainer"
+
+    def test_full_name_kept(self):
+        logger = get_logger("repro.thermal")
+        assert logger.name == "repro.thermal"
+
+    def test_is_logging_logger(self):
+        assert isinstance(get_logger("x"), logging.Logger)

@@ -1,0 +1,61 @@
+"""Tests for ASCII rendering."""
+
+import numpy as np
+import pytest
+
+from repro.chiplet import Placement
+from repro.viz import render_floorplan, render_thermal_map
+
+
+class TestFloorplanRendering:
+    def test_contains_legend_and_dies(self, small_system):
+        placement = Placement(small_system)
+        placement.place("hot", 0, 0)
+        placement.place("warm", 20, 20)
+        art = render_floorplan(placement, width=40, height=20)
+        assert "A = hot" in art
+        assert "B = warm" in art
+        body = [line for line in art.splitlines() if line.startswith("|")]
+        # Die A sits at the origin -> bottom-left of the flipped canvas.
+        lower_half = "".join(body[len(body) // 2 :])
+        upper_half = "".join(body[: len(body) // 2])
+        assert "A" in lower_half and "A" not in upper_half
+        assert "B" in upper_half
+        assert "small" in art  # system name in header
+
+    def test_empty_placement(self, small_system):
+        art = render_floorplan(Placement(small_system), width=20, height=10)
+        assert art.count(".") > 100
+
+    def test_dimensions(self, small_system):
+        placement = Placement(small_system)
+        placement.place("hot", 5, 5)
+        art = render_floorplan(placement, width=30, height=12)
+        body_rows = [
+            line for line in art.splitlines() if line.startswith("|")
+        ]
+        assert len(body_rows) == 12
+        assert all(len(row) == 32 for row in body_rows)
+
+
+class TestThermalRendering:
+    def test_shade_extremes(self):
+        field = np.zeros((10, 10))
+        field[5, 5] = 100.0
+        art = render_thermal_map(field, width=10, height=10)
+        assert "@" in art
+        assert "min 0.00 K" in art
+        assert "max 100.00 K" in art
+
+    def test_constant_field(self):
+        art = render_thermal_map(np.full((5, 5), 300.0), width=5, height=5)
+        assert "min 300.00" in art
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            render_thermal_map(np.zeros(5))
+
+    def test_resampling_shapes(self):
+        art = render_thermal_map(np.random.rand(64, 64), width=20, height=8)
+        body_rows = [line for line in art.splitlines() if line.startswith("|")]
+        assert len(body_rows) == 8
