@@ -1,0 +1,174 @@
+"""Rollout-engine throughput: sequential vs lockstep-batched collection.
+
+Measures episodes/sec of ``RLPlannerTrainer.collect_episodes`` on the
+default 32x32-grid synthetic system for ``batch_size=1`` (the original
+sequential engine) against batched widths (16 by default), reporting the
+median over alternating measurement windows so single-core frequency
+noise cannot bias one arm.
+
+The reward path uses the bundle wirelength estimator so the measurement
+isolates the rollout engine (observation/mask construction, the
+actor-critic forward, terminal thermal evaluation).  Per-wire microbump
+assignment costs the same in both arms and would only dilute the ratio.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_rollout.py            # full
+    PYTHONPATH=src python benchmarks/bench_rollout.py --smoke    # CI, ~30 s
+    PYTHONPATH=src python benchmarks/bench_rollout.py --strict   # exit 1 below target
+
+Target (tracked in the README): batch_size=16 achieves >= 3x the
+sequential engine's episodes/sec.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+
+from repro.agent import RLPlannerTrainer, TrainerConfig
+from repro.env import EnvConfig, FloorplanEnv
+from repro.reward import RewardCalculator, RewardConfig
+from repro.rl import PPOConfig
+from repro.systems import synthetic_system
+from repro.thermal import FastThermalModel, ThermalConfig
+from repro.thermal.characterize import load_or_characterize
+
+DEFAULT_CACHE_DIR = ".cache/thermal_tables"
+
+
+def build_env(grid_size: int, system_seed: int) -> FloorplanEnv:
+    """The benchmark scenario: one synthetic system + fast thermal model."""
+    system = synthetic_system(seed=system_seed)
+    config = ThermalConfig()
+    sizes = []
+    for chiplet in system.chiplets:
+        sizes.append((chiplet.width, chiplet.height))
+        if chiplet.rotatable:
+            sizes.append((chiplet.height, chiplet.width))
+    tables = load_or_characterize(
+        system.interposer,
+        sizes,
+        config,
+        position_samples=(5, 5),
+        cache_dir=DEFAULT_CACHE_DIR,
+    )
+    calc = RewardCalculator(
+        FastThermalModel(tables, config),
+        RewardConfig(use_bump_assignment=False),
+    )
+    return FloorplanEnv(system, calc, EnvConfig(grid_size=grid_size))
+
+
+def make_trainer(env: FloorplanEnv, batch_size: int, seed: int) -> RLPlannerTrainer:
+    return RLPlannerTrainer(
+        env,
+        TrainerConfig(
+            epochs=1,
+            episodes_per_epoch=16,
+            batch_size=batch_size,
+            seed=seed,
+            log_every=0,
+            ppo=PPOConfig(),
+        ),
+    )
+
+
+def measure_window(trainer: RLPlannerTrainer, episodes: int, seconds: float) -> float:
+    """Episodes/sec over one timed window of repeated collections."""
+    collected = 0
+    start = time.perf_counter()
+    while True:
+        trainer.collect_episodes(episodes)
+        collected += episodes
+        elapsed = time.perf_counter() - start
+        if elapsed >= seconds:
+            return collected / elapsed
+
+
+def run(args) -> int:
+    env = build_env(args.grid, args.system_seed)
+    widths = [int(w) for w in args.batch_sizes.split(",")]
+    trainers = {w: make_trainer(env, w, args.seed) for w in widths}
+    for trainer in trainers.values():  # warm caches and code paths
+        trainer.collect_episodes(args.episodes)
+
+    samples: dict = {w: [] for w in widths}
+    for round_index in range(args.rounds):
+        # Alternate arms inside each round so slow machine phases hit
+        # every width, not just one.
+        for width in widths:
+            rate = measure_window(
+                trainers[width], args.episodes, args.window_seconds
+            )
+            samples[width].append(rate)
+            print(
+                f"round {round_index}: batch_size={width:<3d} "
+                f"{rate:8.1f} eps/s"
+            )
+
+    medians = {w: statistics.median(samples[w]) for w in widths}
+    print()
+    for width in widths:
+        print(f"batch_size={width:<3d} median {medians[width]:8.1f} eps/s")
+    baseline = medians[widths[0]]
+    status = 0
+    for width in widths[1:]:
+        speedup = medians[width] / baseline
+        verdict = ""
+        if not args.smoke:
+            ok = speedup >= args.target
+            verdict = "  [ok]" if ok else f"  [below {args.target:.1f}x target]"
+            if not ok and args.strict:
+                status = 1
+        print(
+            f"speedup batch_size={width} vs {widths[0]}: "
+            f"{speedup:.2f}x{verdict}"
+        )
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--grid", type=int, default=32, help="placement grid size")
+    parser.add_argument(
+        "--batch-sizes",
+        type=str,
+        default="1,16",
+        help="comma-separated rollout widths; the first is the baseline",
+    )
+    parser.add_argument("--episodes", type=int, default=16, help="episodes per collection call")
+    parser.add_argument("--rounds", type=int, default=5, help="alternating measurement rounds")
+    parser.add_argument(
+        "--window-seconds",
+        type=float,
+        default=2.0,
+        help="minimum seconds per measurement window",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="trainer seed")
+    parser.add_argument("--system-seed", type=int, default=1, help="synthetic system seed")
+    parser.add_argument(
+        "--target", type=float, default=3.0, help="required speedup multiple"
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit nonzero when a width misses the target",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="single fast round, no target check (CI)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.rounds = 1
+        args.episodes = min(args.episodes, 8)
+        args.window_seconds = min(args.window_seconds, 0.5)
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

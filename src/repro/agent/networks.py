@@ -106,3 +106,92 @@ class ActorCritic(Module):
             log_prob = float(dist.log_prob(np.array([action])).data[0])
             value = float(values.data[0])
         return action, log_prob, value
+
+    def act_batch(
+        self,
+        observations: np.ndarray,
+        masks: np.ndarray,
+        rngs,
+        greedy: bool = False,
+        static_channels=None,
+        shared_rows: bool = False,
+    ) -> tuple:
+        """Rollout action selection for a whole lockstep batch.
+
+        One forward pass serves every row; row ``i`` samples from
+        ``rngs[i]`` so trajectories depend only on their own episode
+        stream (see :meth:`MaskedCategorical.sample_per_row`).
+
+        ``static_channels`` names observation channels the caller
+        guarantees are identical for every row (lockstep batches share
+        their constant channels); their first-conv contribution is then
+        computed once per call instead of once per row.  ``shared_rows``
+        asserts that *entire rows* are identical (true right after a
+        lockstep reset): the forward runs on one row and broadcasts.
+        Both guarantees must be structural, not data-dependent, and used
+        consistently across calls — that is what keeps batched
+        trajectories identical at every batch width.
+
+        The conv layers enforce per-row shape-stable GEMMs for this; the
+        dense heads run one (n, features) GEMM and rely on the BLAS
+        computing each output row independently of the row count, which
+        holds for the supported OpenBLAS builds and is locked in by the
+        batch-width-invariance regression tests — a BLAS whose kernels
+        mix rows would surface there, not silently.
+
+        Returns (actions, log_probs, values) as 1D numpy arrays.
+        """
+        with no_grad():
+            obs = np.asarray(observations, dtype=np.float64)
+            masks = np.asarray(masks, dtype=bool)
+            n = obs.shape[0]
+            if shared_rows and n > 1:
+                features = self._encode_rollout(obs[:1], static_channels)
+                logits = self.policy_head(features)
+                values_data = np.broadcast_to(
+                    self.value_head(features).reshape(-1).data, (n,)
+                )
+                logits = Tensor(
+                    np.broadcast_to(logits.data, (n,) + logits.shape[1:])
+                )
+            else:
+                features = self._encode_rollout(obs, static_channels)
+                logits = self.policy_head(features)
+                values_data = self.value_head(features).reshape(-1).data
+            dist = MaskedCategorical(logits, masks)
+            if greedy:
+                actions = dist.mode()
+            else:
+                actions = dist.sample_per_row(rngs)
+            log_probs = dist.log_prob(actions).data
+        return (
+            actions.astype(np.int64),
+            np.array(log_probs, dtype=np.float64),
+            np.array(values_data, dtype=np.float64),
+        )
+
+    def _encode_rollout(self, obs: np.ndarray, static_channels) -> Tensor:
+        """Encoder forward with the optional static-channel split."""
+        if not static_channels:
+            return self.encoder(Tensor(obs))
+        static = sorted(static_channels)
+        dynamic = [c for c in range(obs.shape[1]) if c not in static]
+        conv0 = self.encoder[0]
+        weight = conv0.weight.data
+        out_dynamic = Tensor(obs[:, dynamic]).conv2d(
+            Tensor(weight[:, dynamic]),
+            None,
+            stride=conv0.stride,
+            padding=conv0.padding,
+        )
+        # Shared contribution (and the bias) from one representative row.
+        out_static = Tensor(obs[:1, static]).conv2d(
+            Tensor(weight[:, static]),
+            conv0.bias,
+            stride=conv0.stride,
+            padding=conv0.padding,
+        )
+        x = (out_dynamic + out_static).relu()
+        for module in self.encoder.modules[2:]:
+            x = module(x)
+        return x

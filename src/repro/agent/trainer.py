@@ -5,6 +5,17 @@ bonuses if enabled, runs the PPO update, and tracks the best placement
 seen so far — the floorplanner's actual product.  Training stops after
 ``epochs`` epochs or ``time_limit`` seconds, whichever comes first (the
 paper compares methods under matched wall-clock budgets).
+
+Episode collection has two engines selected by ``TrainerConfig.batch_size``:
+
+* ``batch_size=1`` — the original sequential path: one environment, one
+  single-observation forward pass per step.  Kept intact so golden
+  regression tests can pin training trajectories across refactors.
+* ``batch_size>1`` — the batched rollout engine: episodes step in
+  lockstep through a :class:`~repro.env.BatchedFloorplanEnv` with one
+  batched actor-critic forward per step.  Each episode samples from its
+  own derived RNG stream, so trajectories are invariant to the batch
+  width (any ``batch_size >= 2`` yields identical results).
 """
 
 from __future__ import annotations
@@ -15,7 +26,7 @@ from dataclasses import dataclass, field, replace
 import numpy as np
 
 from repro.agent.networks import ActorCritic
-from repro.env import FloorplanEnv
+from repro.env import BatchedFloorplanEnv, FloorplanEnv
 from repro.nn import Adam, load_state_dict, save_state_dict
 from repro.rl import (
     Episode,
@@ -43,6 +54,15 @@ class TrainerConfig:
 
     epochs: int = 600
     episodes_per_epoch: int = 16
+    # Rollout batch width.  1 = the original sequential collection path
+    # (one forward pass per step per episode, one shared action stream)
+    # kept bit-for-bit intact for regression pinning.  >1 = lockstep
+    # batched collection: up to ``batch_size`` episodes step together
+    # through a BatchedFloorplanEnv with one batched forward per step,
+    # each episode on its own derived RNG stream — so trajectories are
+    # identical for ANY batch_size >= 2 (8 and 16 give the same result,
+    # just at different speed).
+    batch_size: int = 1
     gamma: float = 0.99
     gae_lambda: float = 0.95
     learning_rate: float = 3e-4
@@ -60,6 +80,8 @@ class TrainerConfig:
     def __post_init__(self) -> None:
         if self.epochs < 1 or self.episodes_per_epoch < 1:
             raise ValueError("epochs and episodes_per_epoch must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
 
 
 @dataclass
@@ -113,11 +135,26 @@ class RLPlannerTrainer:
             )
         self._act_rng = seeds.rng("actions")
         self._ppo_rng = seeds.rng("ppo")
+        self._seeds = seeds
+        # Global episode counter: episode k of the run always draws from
+        # the stream "episode.k", regardless of batch width, which is
+        # what makes batched collection width-invariant.
+        self._episode_index = 0
+        self.batched_env: BatchedFloorplanEnv | None = None
+        if self.config.batch_size > 1:
+            self.batched_env = BatchedFloorplanEnv(
+                env.system, env.reward_calculator, env.config
+            )
 
     # ------------------------------------------------------------------
 
     def collect_episode(self, greedy: bool = False) -> tuple:
-        """Roll out one episode; returns (Episode, terminal info dict)."""
+        """Roll out one episode; returns (Episode, terminal info dict).
+
+        This is the original sequential path (single shared action
+        stream); it backs ``batch_size=1`` and the golden regression
+        that pins it to the pre-batching trainer.
+        """
         observation, mask = self.env.reset()
         episode = Episode()
         info = {}
@@ -133,6 +170,63 @@ class RLPlannerTrainer:
                 break
             observation, mask = result.observation, result.mask
         return episode, info
+
+    def collect_episodes(self, n: int, greedy: bool = False) -> list:
+        """Collect ``n`` episodes; returns ``[(Episode, info), ...]``.
+
+        Dispatches to the sequential path for ``batch_size=1`` and to
+        lockstep batched collection otherwise.
+        """
+        if self.batched_env is None:
+            return [self.collect_episode(greedy=greedy) for _ in range(n)]
+        collected = []
+        width = min(self.config.batch_size, n)
+        for start in range(0, n, width):
+            collected.extend(
+                self._collect_wave(min(width, n - start), greedy=greedy)
+            )
+        return collected
+
+    def _collect_wave(self, wave_n: int, greedy: bool) -> list:
+        """One lockstep wave of ``wave_n`` episodes through the batched env."""
+        rngs = [
+            self._seeds.rng(f"episode.{self._episode_index + k}")
+            for k in range(wave_n)
+        ]
+        self._episode_index += wave_n
+        episodes = [Episode() for _ in range(wave_n)]
+        infos: list = [{} for _ in range(wave_n)]
+        observations, masks = self.batched_env.reset(wave_n)
+        live = self.batched_env.live_indices
+        static_channels = self.batched_env.observation_builder.STATIC_CHANNELS
+        first_step = True
+        while len(live):
+            actions, log_probs, values = self.network.act_batch(
+                observations,
+                masks,
+                [rngs[i] for i in live],
+                greedy=greedy,
+                static_channels=static_channels,
+                # Right after a lockstep reset every row is identical, so
+                # the forward runs once and broadcasts.
+                shared_rows=first_step,
+            )
+            first_step = False
+            for row, index in enumerate(live):
+                episodes[index].add_step(
+                    observations[row],
+                    masks[row],
+                    int(actions[row]),
+                    float(log_probs[row]),
+                    float(values[row]),
+                )
+            result = self.batched_env.step(actions)
+            for index, reward, info in result.finished:
+                episodes[index].set_terminal_reward(reward)
+                infos[index] = info
+            observations, masks = result.observations, result.masks
+            live = result.live_indices
+        return list(zip(episodes, infos))
 
     def train(self) -> TrainingResult:
         """Run the full training loop; returns the best floorplan found."""
@@ -162,8 +256,7 @@ class RLPlannerTrainer:
             buffer = RolloutBuffer(cfg.gamma, cfg.gae_lambda)
             rewards = []
             epoch_obs = []
-            for _ in range(cfg.episodes_per_epoch):
-                episode, info = self.collect_episode()
+            for episode, info in self.collect_episodes(cfg.episodes_per_epoch):
                 rewards.append(episode.total_reward)
                 if info.get("deadlock"):
                     deadlocks += 1

@@ -36,6 +36,7 @@ def _budget_from_args(args) -> ExperimentBudget:
         grid_size=args.grid,
         sa_iterations_hotspot=args.sa_iterations,
         seed=args.seed,
+        rollout_batch_size=args.batch_size,
     )
 
 
@@ -45,6 +46,13 @@ def _add_budget_args(parser) -> None:
     parser.add_argument("--grid", type=int, default=24)
     parser.add_argument("--sa-iterations", type=int, default=250)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=1,
+        help="rollout batch width for RL collection "
+        "(1 = sequential engine, >1 = lockstep batched engine)",
+    )
     parser.add_argument(
         "--paper-scale",
         action="store_true",

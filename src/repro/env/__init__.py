@@ -1,13 +1,17 @@
-"""Sequential chiplet-placement MDP."""
+"""Sequential chiplet-placement MDP (single-episode and lockstep-batched)."""
 
+from repro.env.batched_env import BatchedFloorplanEnv, BatchedStepResult
 from repro.env.floorplan_env import EnvConfig, FloorplanEnv, StepResult
-from repro.env.mask import feasible_cells
+from repro.env.mask import feasible_cells, feasible_cells_batch
 from repro.env.state import ObservationBuilder
 
 __all__ = [
     "EnvConfig",
     "FloorplanEnv",
     "StepResult",
+    "BatchedFloorplanEnv",
+    "BatchedStepResult",
     "feasible_cells",
+    "feasible_cells_batch",
     "ObservationBuilder",
 ]

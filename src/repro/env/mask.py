@@ -5,6 +5,12 @@ lower-left corner may land.  A cell is feasible when the footprint stays
 on the interposer and keeps ``min_spacing`` clearance from every placed
 die.  Infeasible-region marking is vectorized per placed die, so the
 cost is O(placed * blocked cells), not O(cells * placed).
+
+:func:`feasible_cells_batch` computes masks for many episodes at once;
+it shares the in-bounds region across the batch and memoizes the carved
+bounds of identical placed rectangles, and is guaranteed cell-for-cell
+identical to calling :func:`feasible_cells` per episode (both run the
+same bound arithmetic).
 """
 
 from __future__ import annotations
@@ -13,7 +19,46 @@ import numpy as np
 
 from repro.geometry import PlacementGrid, Rect
 
-__all__ = ["feasible_cells"]
+__all__ = ["feasible_cells", "feasible_cells_batch"]
+
+
+def _inbounds_region(
+    grid: PlacementGrid, die_width: float, die_height: float
+) -> tuple | None:
+    """``(last_row, last_col)`` of feasible lower-left origins, or None."""
+    max_x = grid.width - die_width
+    max_y = grid.height - die_height
+    if max_x < 0 or max_y < 0:
+        return None  # die does not fit at all
+    # Cell origins are col*dx / row*dy; feasible while origin <= max.
+    last_col = int(np.floor(max_x / grid.dx + 1e-9))
+    last_row = int(np.floor(max_y / grid.dy + 1e-9))
+    return last_row, last_col
+
+
+def _carve_bounds(
+    grid: PlacementGrid,
+    rect: Rect,
+    die_width: float,
+    die_height: float,
+    min_spacing: float,
+) -> tuple | None:
+    """Row/col slice bounds blocked by one placed die, or None if empty.
+
+    These are the origins where ``[x, x+w) x [y, y+h)`` would come within
+    ``min_spacing`` of ``rect``.
+    """
+    x_lo = rect.x - min_spacing - die_width
+    x_hi = rect.x2 + min_spacing
+    y_lo = rect.y - min_spacing - die_height
+    y_hi = rect.y2 + min_spacing
+    col_lo = max(int(np.floor(x_lo / grid.dx + 1e-9)) + 1, 0)
+    col_hi = min(int(np.ceil(x_hi / grid.dx - 1e-9)), grid.cols)
+    row_lo = max(int(np.floor(y_lo / grid.dy + 1e-9)) + 1, 0)
+    row_hi = min(int(np.ceil(y_hi / grid.dy - 1e-9)), grid.rows)
+    if col_lo < col_hi and row_lo < row_hi:
+        return row_lo, row_hi, col_lo, col_hi
+    return None
 
 
 def feasible_cells(
@@ -38,26 +83,55 @@ def feasible_cells(
     """
     mask = np.zeros(grid.shape, dtype=bool)
     # In-bounds region: lower-left cells whose origin keeps the die inside.
-    max_x = grid.width - die_width
-    max_y = grid.height - die_height
-    if max_x < 0 or max_y < 0:
-        return mask  # die does not fit at all
-    # Cell origins are col*dx / row*dy; feasible while origin <= max.
-    last_col = int(np.floor(max_x / grid.dx + 1e-9))
-    last_row = int(np.floor(max_y / grid.dy + 1e-9))
+    region = _inbounds_region(grid, die_width, die_height)
+    if region is None:
+        return mask
+    last_row, last_col = region
     mask[: last_row + 1, : last_col + 1] = True
 
-    # Carve out the forbidden neighbourhood of each placed die: origins
-    # where [x, x+w) x [y, y+h) would come within min_spacing of it.
+    # Carve out the forbidden neighbourhood of each placed die.
     for rect in placed:
-        x_lo = rect.x - min_spacing - die_width
-        x_hi = rect.x2 + min_spacing
-        y_lo = rect.y - min_spacing - die_height
-        y_hi = rect.y2 + min_spacing
-        col_lo = max(int(np.floor(x_lo / grid.dx + 1e-9)) + 1, 0)
-        col_hi = min(int(np.ceil(x_hi / grid.dx - 1e-9)), grid.cols)
-        row_lo = max(int(np.floor(y_lo / grid.dy + 1e-9)) + 1, 0)
-        row_hi = min(int(np.ceil(y_hi / grid.dy - 1e-9)), grid.rows)
-        if col_lo < col_hi and row_lo < row_hi:
+        bounds = _carve_bounds(grid, rect, die_width, die_height, min_spacing)
+        if bounds is not None:
+            row_lo, row_hi, col_lo, col_hi = bounds
             mask[row_lo:row_hi, col_lo:col_hi] = False
     return mask
+
+
+def feasible_cells_batch(
+    grid: PlacementGrid,
+    die_width: float,
+    die_height: float,
+    placed_per_episode: list,
+    min_spacing: float = 0.0,
+) -> np.ndarray:
+    """Boolean (n, rows, cols) masks for ``n`` independent episodes.
+
+    ``placed_per_episode[i]`` is the placed-footprint list of episode
+    ``i``.  The in-bounds region is computed once for the whole batch and
+    carve bounds are memoized across episodes (lockstep rollouts place
+    the same die sizes, so identical rectangles recur often).
+    """
+    n = len(placed_per_episode)
+    masks = np.zeros((n,) + grid.shape, dtype=bool)
+    region = _inbounds_region(grid, die_width, die_height)
+    if region is None or n == 0:
+        return masks
+    last_row, last_col = region
+    masks[:, : last_row + 1, : last_col + 1] = True
+
+    bounds_cache: dict = {}
+    for i, placed in enumerate(placed_per_episode):
+        for rect in placed:
+            key = (rect.x, rect.y, rect.w, rect.h)
+            if key in bounds_cache:
+                bounds = bounds_cache[key]
+            else:
+                bounds = _carve_bounds(
+                    grid, rect, die_width, die_height, min_spacing
+                )
+                bounds_cache[key] = bounds
+            if bounds is not None:
+                row_lo, row_hi, col_lo, col_hi = bounds
+                masks[i, row_lo:row_hi, col_lo:col_hi] = False
+    return masks

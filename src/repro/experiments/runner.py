@@ -50,10 +50,18 @@ class ExperimentBudget:
     sa_time_matched: bool = True
     position_samples: tuple = (7, 7)
     seed: int = 0
+    # Rollout batch width for RL episode collection (1 = the original
+    # sequential engine; >1 = lockstep batched collection).
+    rollout_batch_size: int = 1
 
     @classmethod
     def paper_scale(cls) -> "ExperimentBudget":
         """The paper's regime (hours of CPU time)."""
+        # rollout_batch_size stays 1: paper-scale trajectories were
+        # baselined with the sequential engine, and the batched engine's
+        # per-episode RNG streams produce different (equally valid)
+        # trajectories.  Flip it to 16 only together with re-baselined
+        # table results (see ROADMAP).
         return cls(
             rl_epochs=600,
             episodes_per_epoch=16,
@@ -102,6 +110,7 @@ def _run_rl(spec, reward_calculator, budget, use_rnd: bool) -> MethodResult:
         TrainerConfig(
             epochs=budget.rl_epochs,
             episodes_per_epoch=budget.episodes_per_epoch,
+            batch_size=budget.rollout_batch_size,
             seed=budget.seed,
             use_rnd=use_rnd,
             rnd=RNDConfig(bonus_scale=0.5),

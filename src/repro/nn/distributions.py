@@ -53,6 +53,25 @@ class MaskedCategorical:
         scores[~self.mask] = -np.inf
         return scores.argmax(axis=-1)
 
+    def sample_per_row(self, rngs) -> np.ndarray:
+        """Draw one action per row, row ``i`` from ``rngs[i]``.
+
+        Each row consumes exactly one ``gumbel(size=n_actions)`` draw
+        from its own generator, so a rollout's action sequence depends
+        only on its episode stream — never on which other episodes share
+        the batch.  This is what makes lockstep batched collection
+        reproducible at any batch width.
+        """
+        if len(rngs) != self.masked_logits.shape[0]:
+            raise ValueError(
+                f"need {self.masked_logits.shape[0]} generators, got {len(rngs)}"
+            )
+        n_actions = self.masked_logits.shape[-1]
+        gumbel = np.stack([rng.gumbel(size=n_actions) for rng in rngs])
+        scores = self.masked_logits.data + gumbel
+        scores[~self.mask] = -np.inf
+        return scores.argmax(axis=-1)
+
     def mode(self) -> np.ndarray:
         """Most probable feasible action per row."""
         scores = self.masked_logits.data.copy()

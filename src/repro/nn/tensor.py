@@ -242,6 +242,9 @@ class Tensor:
     # ------------------------------------------------------------------
 
     def relu(self):
+        if not _grad_enabled:
+            # Inference fast path: no mask materialization, no closure.
+            return Tensor(np.maximum(self.data, 0.0))
         mask = self.data > 0
 
         def backward(grad):
@@ -424,23 +427,39 @@ class Tensor:
         out_h = (h + 2 * padding - kh) // stride + 1
         out_w = (wdt + 2 * padding - kw) // stride + 1
         if padding:
-            x_pad = np.pad(
-                x, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+            # Zero-pad via slice assignment: np.pad's generic machinery
+            # costs ~0.5 ms per call, which dominated single-row rollout
+            # forwards.
+            x_pad = np.zeros(
+                (n, c, h + 2 * padding, wdt + 2 * padding), dtype=x.dtype
             )
+            x_pad[:, :, padding:-padding, padding:-padding] = x
         else:
             x_pad = x
-        cols = _im2col(x_pad, kh, kw, stride, out_h, out_w)  # (N, C*kh*kw, L)
+        cols = _im2col(x_pad, kh, kw, stride, out_h, out_w)  # (C*kh*kw, N, L)
         w_mat = w.reshape(f, -1)  # (F, C*kh*kw)
-        out = np.einsum("fk,nkl->nfl", w_mat, cols).reshape(n, f, out_h, out_w)
+        # One identically-shaped (F,K)@(K,L) BLAS GEMM per batch row: a
+        # row's result is bitwise independent of the batch size (a single
+        # flattened GEMM is faster but lets BLAS pick kernels by total
+        # width, which breaks the batched rollout engine's exact
+        # batch-width invariance).
+        out = np.empty((n, f, out_h * out_w))
+        for row in range(n):
+            np.matmul(w_mat, cols[:, row], out=out[row])
+        out = out.reshape(n, f, out_h, out_w)
         if bias is not None:
             out = out + bias.data.reshape(1, f, 1, 1)
 
         parents = (self, weight) + ((bias,) if bias is not None else ())
 
         def backward(grad):
-            grad_mat = grad.reshape(n, f, -1)  # (N, F, L)
-            grad_w = np.einsum("nfl,nkl->fk", grad_mat, cols).reshape(w.shape)
-            grad_cols = np.einsum("fk,nfl->nkl", w_mat, grad_mat)
+            # Flattened GEMMs (batch inside the column axis): gradients
+            # only need determinism for identical inputs, not per-row
+            # batch-width invariance.
+            grad_mat = grad.transpose(1, 0, 2, 3).reshape(f, -1)  # (F, N*L)
+            cols_flat = cols.reshape(cols.shape[0], -1)  # (K, N*L)
+            grad_w = (grad_mat @ cols_flat.T).reshape(w.shape)
+            grad_cols = w_mat.T @ grad_mat
             grad_x_pad = _col2im(
                 grad_cols, x_pad.shape, kh, kw, stride, out_h, out_w
             )
@@ -457,26 +476,32 @@ class Tensor:
 
 
 def _im2col(x_pad, kh, kw, stride, out_h, out_w):
-    """Unfold padded input (N,C,H,W) into (N, C*kh*kw, out_h*out_w)."""
+    """Unfold padded input (N,C,H,W) into (C*kh*kw, N, out_h*out_w).
+
+    The kernel axis leads so that materializing this layout walks the
+    input nearly sequentially (~8x faster than the batch-major unfold
+    for rollout-sized batches); each batch row is then a contiguous-
+    column (K, L) GEMM operand.
+    """
     n, c, _, _ = x_pad.shape
     windows = np.lib.stride_tricks.sliding_window_view(x_pad, (kh, kw), axis=(2, 3))
     windows = windows[:, :, ::stride, ::stride, :, :]
-    # (N, C, out_h, out_w, kh, kw) -> (N, C*kh*kw, out_h*out_w)
-    return (
-        windows.transpose(0, 1, 4, 5, 2, 3)
-        .reshape(n, c * kh * kw, out_h * out_w)
-        .copy()
+    # (N, C, out_h, out_w, kh, kw) -> (C*kh*kw, N, out_h*out_w)
+    return np.ascontiguousarray(
+        windows.transpose(1, 4, 5, 0, 2, 3).reshape(
+            c * kh * kw, n, out_h * out_w
+        )
     )
 
 
 def _col2im(cols, x_shape, kh, kw, stride, out_h, out_w):
-    """Fold (N, C*kh*kw, L) gradients back onto the padded input."""
+    """Fold (C*kh*kw, N*L) gradients back onto the padded input."""
     n, c, h, w = x_shape
     grad = np.zeros(x_shape, dtype=cols.dtype)
-    cols6 = cols.reshape(n, c, kh, kw, out_h, out_w)
+    cols6 = cols.reshape(c, kh, kw, n, out_h, out_w)
     for i in range(kh):
         for j in range(kw):
             grad[
                 :, :, i : i + stride * out_h : stride, j : j + stride * out_w : stride
-            ] += cols6[:, :, i, j, :, :]
+            ] += cols6[:, i, j].transpose(1, 0, 2, 3)
     return grad

@@ -126,6 +126,41 @@ class RewardCalculator:
             return self.assigner.assign(placement).total_wirelength
         return estimate_wirelength(placement)
 
+    def evaluate_batch(self, placements) -> list:
+        """Evaluate a batch of completed placements in one pass.
+
+        All placements share this calculator's (already characterized)
+        thermal evaluator and bump assigner.  When the thermal evaluator
+        offers a vectorized ``evaluate_batch`` (the fast model does),
+        the whole batch's thermal analysis runs as one vectorized pass;
+        otherwise it degrades to per-placement evaluation.  Returns one
+        :class:`RewardBreakdown` per placement, in order.
+        """
+        placements = list(placements)
+        batch_eval = getattr(self.thermal, "evaluate_batch", None)
+        if batch_eval is None:
+            return [self.evaluate(placement) for placement in placements]
+        if not placements:
+            return []
+        breakdowns = []
+        start = time.perf_counter()
+        wirelengths = [self.wirelength(p) for p in placements]
+        t_wl = (time.perf_counter() - start) / len(placements)
+        for wirelength, thermal_result in zip(wirelengths, batch_eval(placements)):
+            t_celsius = thermal_result.max_temperature - KELVIN_OFFSET
+            self.evaluation_count += 1
+            breakdowns.append(
+                RewardBreakdown(
+                    reward=self.config.combine(wirelength, t_celsius),
+                    wirelength=wirelength,
+                    max_temperature_c=t_celsius,
+                    thermal_penalty=self.config.thermal_penalty(t_celsius),
+                    elapsed_wirelength=t_wl,
+                    elapsed_thermal=thermal_result.elapsed,
+                )
+            )
+        return breakdowns
+
     def evaluate(self, placement: Placement) -> RewardBreakdown:
         """Full reward evaluation of a complete placement."""
         start = time.perf_counter()

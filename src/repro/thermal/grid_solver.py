@@ -42,10 +42,14 @@ class GridThermalSolver:
     reuse_factorization:
         With the default homogeneous chiplet layer the conductance matrix
         is placement-independent, so its LU factorization can be computed
-        once and reused for every evaluation.  Defaults to False to keep
-        per-call costs comparable to running the HotSpot binary (build
-    	model, factorize, solve each time) — which is what the paper's
-        speed comparison measures.  Characterization turns it on.
+        once and reused for every evaluation; reused solves are
+        bitwise-identical to fresh ones (regression-tested).  Defaults to
+        False to keep per-call costs comparable to running the HotSpot
+        binary (build model, factorize, solve each time) — which is what
+        the paper's speed comparison measures.  Characterization turns it
+        on.  With ``heterogeneous_chiplet_layer`` the matrix depends on
+        die coverage, so the flag is ignored and every call re-assembles
+        and re-factorizes.
 
     Notes
     -----

@@ -50,6 +50,18 @@ class TestBudgetConstruction:
         assert budget.rl_epochs == 5
         assert budget.grid_size == 16
         assert budget.seed == 3
+        assert budget.rollout_batch_size == 1  # default: sequential engine
+
+    def test_batch_size_flag(self, monkeypatch, fake_results):
+        captured = {}
+
+        def fake_run_table1(budget):
+            captured["budget"] = budget
+            return fake_results
+
+        monkeypatch.setattr(cli, "run_table1", fake_run_table1)
+        cli.main(["table1", "--batch-size", "8"])
+        assert captured["budget"].rollout_batch_size == 8
 
     def test_paper_scale_flag(self, monkeypatch, fake_results):
         captured = {}

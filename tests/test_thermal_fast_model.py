@@ -179,9 +179,11 @@ class TestFastModelAccuracy:
         self, small_system, small_solver, small_fast_model
     ):
         p = _random_legal_placement(small_system, np.random.default_rng(2))
-        ref = small_solver.evaluate(p)
-        fast = small_fast_model.evaluate(p)
-        assert fast.elapsed < ref.elapsed
+        # Best of three per evaluator: single-sample wall-clock
+        # comparisons are flaky under CPU-frequency noise.
+        ref = min(small_solver.evaluate(p).elapsed for _ in range(3))
+        fast = min(small_fast_model.evaluate(p).elapsed for _ in range(3))
+        assert fast < ref
 
     def test_rotation_uses_rotated_tables(self, small_system, small_fast_model):
         p = Placement(small_system)
@@ -190,6 +192,112 @@ class TestFastModelAccuracy:
         p.place("cold", 20, 2, rotated=True)  # 6x4 footprint
         result = small_fast_model.evaluate(p)
         assert "cold" in result.chiplet_temperatures
+
+
+class TestGoldenErrorEnvelope:
+    """The paper's accuracy envelope, locked in as a regression gate.
+
+    Characterize once on a small grid, then assert the surrogate's
+    peak-temperature predictions stay within the named constants of
+    :mod:`repro.thermal.fast_model` against the ground-truth solver.  A
+    solver or characterization change that drifts outside the envelope
+    fails here instead of silently skewing reproduced tables.
+    """
+
+    def test_peak_predictions_within_envelope(
+        self, small_system, small_solver, small_fast_model
+    ):
+        from repro.thermal.fast_model import (
+            PEAK_TEMP_MAX_ERROR_C,
+            PEAK_TEMP_MEAN_ERROR_C,
+        )
+
+        rng = np.random.default_rng(42)
+        errors = []
+        for _ in range(15):
+            p = _random_legal_placement(small_system, rng)
+            ref = small_solver.evaluate(p).max_temperature
+            fast = small_fast_model.evaluate(p).max_temperature
+            errors.append(abs(fast - ref))
+        errors = np.array(errors)
+        assert errors.max() < PEAK_TEMP_MAX_ERROR_C
+        assert errors.mean() < PEAK_TEMP_MEAN_ERROR_C
+
+
+class TestEvaluateBatch:
+    def test_matches_scalar_evaluation(self, small_system, small_fast_model):
+        rng = np.random.default_rng(9)
+        placements = [
+            _random_legal_placement(small_system, rng) for _ in range(6)
+        ]
+        batch = small_fast_model.evaluate_batch(placements)
+        assert len(batch) == 6
+        for result, placement in zip(batch, placements):
+            scalar = small_fast_model.evaluate(placement)
+            assert result.max_temperature == pytest.approx(
+                scalar.max_temperature, rel=1e-9
+            )
+            for name, temp in scalar.chiplet_temperatures.items():
+                assert result.chiplet_temperatures[name] == pytest.approx(
+                    temp, rel=1e-9
+                )
+
+    def test_mixed_rotation_batch(self, small_system, small_fast_model):
+        """Rotated and upright episodes share one batch correctly."""
+        p_upright = Placement(small_system)
+        p_upright.place("hot", 2, 2)
+        p_upright.place("warm", 2, 20)
+        p_upright.place("cold", 20, 2)
+        p_rotated = Placement(small_system)
+        p_rotated.place("hot", 2, 2)
+        p_rotated.place("warm", 2, 20)
+        p_rotated.place("cold", 20, 2, rotated=True)
+        batch = small_fast_model.evaluate_batch([p_upright, p_rotated])
+        for result, placement in zip(batch, (p_upright, p_rotated)):
+            scalar = small_fast_model.evaluate(placement)
+            assert result.max_temperature == pytest.approx(
+                scalar.max_temperature, rel=1e-9
+            )
+
+    def test_heterogeneous_batch_falls_back(
+        self, small_system, small_fast_model
+    ):
+        """Different placed sets cannot vectorize; scalar fallback."""
+        p_full = Placement(small_system)
+        p_full.place("hot", 2, 2)
+        p_full.place("warm", 2, 20)
+        p_full.place("cold", 20, 2)
+        p_partial = Placement(small_system)
+        p_partial.place("hot", 10, 10)
+        batch = small_fast_model.evaluate_batch([p_full, p_partial])
+        assert batch[0].max_temperature == pytest.approx(
+            small_fast_model.evaluate(p_full).max_temperature, rel=1e-12
+        )
+        assert batch[1].max_temperature == pytest.approx(
+            small_fast_model.evaluate(p_partial).max_temperature, rel=1e-12
+        )
+
+    def test_empty_batch(self, small_fast_model):
+        assert small_fast_model.evaluate_batch([]) == []
+
+    def test_reward_calculator_batch(self, small_system, small_fast_model):
+        from repro.reward import RewardCalculator, RewardConfig
+
+        calc = RewardCalculator(
+            small_fast_model,
+            RewardConfig(lambda_wl=1e-4, use_bump_assignment=False),
+        )
+        rng = np.random.default_rng(3)
+        placements = [
+            _random_legal_placement(small_system, rng) for _ in range(4)
+        ]
+        batch = calc.evaluate_batch(placements)
+        for breakdown, placement in zip(batch, placements):
+            scalar = calc.evaluate(placement)
+            assert breakdown.reward == pytest.approx(scalar.reward, rel=1e-9)
+            assert breakdown.wirelength == pytest.approx(
+                scalar.wirelength, rel=1e-12
+            )
 
 
 class TestMetrics:

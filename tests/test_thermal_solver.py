@@ -130,6 +130,59 @@ class TestSolverConfigurations:
         assert t1 == pytest.approx(t2, abs=1e-9)
         assert t2 == pytest.approx(t3, abs=1e-9)
 
+    def test_reused_factorization_bitwise_identical(
+        self, small_interposer, small_config
+    ):
+        """The docstring's promise, verified to the last bit.
+
+        With the homogeneous chiplet layer the conductance matrix is
+        placement-independent, so the cached LU must give *bitwise*
+        identical temperature fields to a fresh ``spsolve`` for any
+        placement — including ones the factorization never saw.
+        """
+        fresh = GridThermalSolver(small_interposer, small_config)
+        cached = GridThermalSolver(
+            small_interposer, small_config, reuse_factorization=True
+        )
+        system = one_die_system(small_interposer)
+        for x, y in ((5.0, 12.0), (0.0, 0.0), (17.0, 3.0)):
+            p = Placement(system)
+            p.place("die", x, y)
+            footprints = p.footprints()
+            powers = {"die": system.chiplet("die").power}
+            t_fresh = fresh.solve_footprints(footprints, powers)
+            t_cached = cached.solve_footprints(footprints, powers)
+            assert np.array_equal(t_fresh, t_cached)
+        assert cached._factor is not None
+        assert fresh._factor is None
+
+    def test_heterogeneous_layer_ignores_reuse(self, small_interposer):
+        """Heterogeneous mode must re-assemble per placement.
+
+        The matrix depends on die coverage there, so the solver ignores
+        ``reuse_factorization`` (documented on the class) rather than
+        serving stale temperatures from an unrelated placement.
+        """
+        config = ThermalConfig(
+            rows=16, cols=16, package_margin=6.0,
+            heterogeneous_chiplet_layer=True,
+        )
+        solver = GridThermalSolver(
+            small_interposer, config, reuse_factorization=True
+        )
+        reference = GridThermalSolver(small_interposer, config)
+        system = one_die_system(small_interposer)
+        for x, y in ((5.0, 12.0), (15.0, 2.0)):
+            p = Placement(system)
+            p.place("die", x, y)
+            footprints = p.footprints()
+            powers = {"die": system.chiplet("die").power}
+            assert np.array_equal(
+                solver.solve_footprints(footprints, powers),
+                reference.solve_footprints(footprints, powers),
+            )
+        assert solver._factor is None  # no stale factorization was cached
+
     def test_heterogeneous_layer_changes_result(self, small_interposer):
         config_hom = ThermalConfig(rows=24, cols=24, package_margin=6.0)
         config_het = ThermalConfig(
