@@ -31,6 +31,19 @@ def main() -> None:
     parser.add_argument("--grid", type=int, default=24)
     parser.add_argument("--sa-iters", type=int, default=150)
     parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=16,
+        help="rollout batch width for RL collection (1 = sequential)",
+    )
+    parser.add_argument(
+        "--sa-chains",
+        type=int,
+        default=16,
+        help="lockstep chains for the fast-thermal SA baseline "
+        "(1 = sequential)",
+    )
+    parser.add_argument(
         "--skip", nargs="*", default=[], choices=["table1", "table2", "table3"]
     )
     args = parser.parse_args()
@@ -45,6 +58,8 @@ def main() -> None:
             episodes_per_epoch=args.episodes,
             grid_size=args.grid,
             sa_iterations_hotspot=args.sa_iters,
+            rollout_batch_size=args.batch_size,
+            sa_chains=args.sa_chains,
         )
     )
     print(f"budget: {budget}")

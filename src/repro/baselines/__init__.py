@@ -7,13 +7,14 @@
 * :func:`random_search` — best of N random legal placements.
 """
 
-from repro.baselines.sa import SAConfig, SAResult, SimulatedAnnealing
+from repro.baselines.sa import SAConfig, SAHistory, SAResult, SimulatedAnnealing
 from repro.baselines.tap25d import TAP25DConfig, TAP25DPlacer, PlacerResult
 from repro.baselines.bstar import BStarConfig, BStarFloorplanner, BStarTree
 from repro.baselines.random_search import random_search
 
 __all__ = [
     "SAConfig",
+    "SAHistory",
     "SAResult",
     "SimulatedAnnealing",
     "TAP25DConfig",

@@ -23,7 +23,7 @@ import numpy as np
 from repro.baselines.sa import SAConfig, SimulatedAnnealing
 from repro.baselines.tap25d import PlacerResult
 from repro.chiplet import ChipletSystem, Placement
-from repro.chiplet.validate import placement_violations
+from repro.chiplet.validate import placement_is_legal, placement_violations
 from repro.reward import RewardCalculator
 
 __all__ = ["BStarConfig", "BStarTree", "BStarFloorplanner"]
@@ -31,7 +31,13 @@ __all__ = ["BStarConfig", "BStarTree", "BStarFloorplanner"]
 
 @dataclass(frozen=True)
 class BStarConfig:
-    """Annealing parameters for the B*-tree search."""
+    """Annealing parameters for the B*-tree search.
+
+    ``n_chains > 1`` runs that many lockstep chains from independently
+    randomized initial trees, evaluating each step's packings through
+    the batched reward path; ``1`` is the original sequential engine,
+    kept bit-for-bit.
+    """
 
     n_iterations: int = 2000
     initial_temperature: float | None = None
@@ -41,11 +47,15 @@ class BStarConfig:
     move_fraction: float = 0.3
     time_limit: float | None = None
     seed: int = 0
+    n_chains: int = 1
+    history_stride: int = 1
 
     def __post_init__(self) -> None:
         mix = self.rotate_fraction + self.swap_fraction + self.move_fraction
         if abs(mix - 1.0) > 1e-9:
             raise ValueError("move fractions must sum to 1")
+        if self.n_chains < 1:
+            raise ValueError("n_chains must be >= 1")
 
 
 class BStarTree:
@@ -258,12 +268,29 @@ class BStarFloorplanner:
             return None
         # Reject packings that fall off the interposer.
         placement = candidate.pack()
-        if placement_violations(placement):
+        if not placement_is_legal(placement):
             return None
         return candidate
 
+    def _legal_initial_tree(self, rng: np.random.Generator) -> BStarTree:
+        """Find a legal initial tree (compacted layouts can overflow)."""
+        for _ in range(200):
+            tree = BStarTree(self.system, rng)
+            if not placement_violations(tree.pack()):
+                return tree
+        raise RuntimeError(
+            f"no legal compacted layout found for {self.system.name!r}"
+        )
+
     def run(self) -> PlacerResult:
-        """Anneal; returns the best legal compacted floorplan."""
+        """Anneal; returns the best legal compacted floorplan.
+
+        Multi-chain runs (``config.n_chains > 1``) draw one independent
+        random initial tree per chain from the shared seed stream, then
+        advance all chains in lockstep with one batched reward
+        evaluation per step (every chain packs the same die set, so the
+        fast thermal model vectorizes across chains).
+        """
         cfg = self.config
         start = time.perf_counter()
         rng = np.random.default_rng(cfg.seed)
@@ -271,16 +298,9 @@ class BStarFloorplanner:
         def evaluate(tree: BStarTree) -> float:
             return -self.reward_calculator.evaluate(tree.pack()).reward
 
-        # Find a legal initial tree (compacted layouts can overflow).
-        initial = None
-        for _ in range(200):
-            tree = BStarTree(self.system, rng)
-            if not placement_violations(tree.pack()):
-                initial = tree
-                break
-        if initial is None:
-            raise RuntimeError(
-                f"no legal compacted layout found for {self.system.name!r}"
+        def evaluate_many(trees):
+            return -self.reward_calculator.evaluate_many(
+                [tree.pack() for tree in trees]
             )
 
         engine = SimulatedAnnealing(
@@ -292,9 +312,18 @@ class BStarFloorplanner:
                 final_temperature=cfg.final_temperature,
                 time_limit=cfg.time_limit,
                 seed=cfg.seed,
+                n_chains=cfg.n_chains,
+                history_stride=cfg.history_stride,
             ),
+            evaluate_many=evaluate_many,
         )
-        result = engine.run(initial)
+        if cfg.n_chains > 1:
+            initials = [
+                self._legal_initial_tree(rng) for _ in range(cfg.n_chains)
+            ]
+            result = engine.run_chains(initials)
+        else:
+            result = engine.run(self._legal_initial_tree(rng))
         best_tree = result.best_state
         placement = best_tree.pack()
         breakdown = self.reward_calculator.evaluate(placement)

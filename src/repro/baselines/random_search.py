@@ -79,10 +79,31 @@ def random_search(
     n_samples: int = 100,
     seed: int = 0,
     time_limit: float | None = None,
+    batch_size: int = 1,
 ) -> PlacerResult:
-    """Evaluate ``n_samples`` random legal placements; return the best."""
+    """Evaluate ``n_samples`` random legal placements; return the best.
+
+    ``batch_size > 1`` draws the same placement sequence but scores
+    ``batch_size`` candidates per vectorized
+    :meth:`~repro.reward.RewardCalculator.evaluate_many` call —
+    identical search results (to float rounding), several times the
+    evaluation throughput on the fast thermal model.  ``batch_size=1``
+    is the original sequential loop, kept bit-for-bit.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
     rng = np.random.default_rng(seed)
     start = time.perf_counter()
+    if batch_size > 1:
+        return _random_search_batched(
+            system,
+            reward_calculator,
+            n_samples,
+            rng,
+            start,
+            time_limit,
+            batch_size,
+        )
     best_breakdown = None
     best_placement = None
     evaluations = 0
@@ -100,6 +121,42 @@ def random_search(
     return PlacerResult(
         placement=best_placement,
         breakdown=best_breakdown,
+        n_evaluations=evaluations,
+        elapsed=time.perf_counter() - start,
+    )
+
+
+def _random_search_batched(
+    system: ChipletSystem,
+    reward_calculator: RewardCalculator,
+    n_samples: int,
+    rng: np.random.Generator,
+    start: float,
+    time_limit: float | None,
+    batch_size: int,
+) -> PlacerResult:
+    """Batched scoring loop of :func:`random_search`."""
+    best_reward = -np.inf
+    best_placement = None
+    evaluations = 0
+    while evaluations < n_samples:
+        if time_limit is not None and time.perf_counter() - start > time_limit:
+            break
+        batch = [
+            random_legal_placement(system, rng)
+            for _ in range(min(batch_size, n_samples - evaluations))
+        ]
+        rewards = reward_calculator.evaluate_many(batch)
+        evaluations += len(batch)
+        winner = int(np.argmax(rewards))
+        if rewards[winner] > best_reward:
+            best_reward = float(rewards[winner])
+            best_placement = batch[winner]
+    if best_placement is None:
+        raise RuntimeError("random search evaluated no placements")
+    return PlacerResult(
+        placement=best_placement,
+        breakdown=reward_calculator.evaluate(best_placement),
         n_evaluations=evaluations,
         elapsed=time.perf_counter() - start,
     )

@@ -1,9 +1,29 @@
-"""Generic simulated-annealing engine.
+"""Generic simulated-annealing engine: single- and multi-chain.
 
 State representation, move proposal and cost evaluation are supplied by
 the caller; the engine owns the Metropolis acceptance rule, the
 geometric cooling schedule, automatic initial-temperature calibration,
 and budget accounting (iterations and/or wall clock).
+
+Two execution engines share the configuration:
+
+* ``n_chains=1`` — the original sequential Metropolis loop, kept
+  bit-for-bit intact (golden-pinned by ``tests/data/
+  golden_baselines.json``): one proposal, one scalar ``evaluate`` per
+  iteration.
+* ``n_chains=M>1`` — M independent chains advanced in lockstep.  Chain
+  ``c`` draws proposals and acceptance tests from its own RNG stream
+  (``seed + c``), carries its own temperature/acceptance state, and the
+  engine issues **one** ``evaluate_many(states)`` call per iteration so
+  a vectorized cost evaluator (e.g. the fast thermal model's batched
+  path) amortizes its work across the whole chain population.  The
+  result is the best state over all chains — best-of-M restarts at a
+  fraction of the sequential cost.
+
+Chain ``c`` of the lockstep engine consumes randomness in exactly the
+order a sequential run with ``seed + c`` would, so when ``evaluate_many``
+agrees bitwise with ``evaluate`` the multi-chain run reproduces M
+sequential runs exactly (regression-tested).
 """
 
 from __future__ import annotations
@@ -14,7 +34,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["SAConfig", "SAResult", "SimulatedAnnealing"]
+__all__ = ["SAConfig", "SAHistory", "SAResult", "SimulatedAnnealing"]
 
 
 @dataclass(frozen=True)
@@ -24,16 +44,23 @@ class SAConfig:
     Attributes
     ----------
     n_iterations:
-        Total proposal count (one evaluation per accepted proposal).
+        Proposal count *per chain* (one evaluation per feasible proposal).
     initial_temperature:
         ``None`` auto-calibrates so early uphill moves are accepted with
         ~50 % probability (standard practice; TAP-2.5D does the same).
+        Calibration is per chain when ``n_chains > 1``.
     final_temperature:
         End of the geometric schedule.
     time_limit:
         Optional wall-clock cap in seconds (for time-matched comparisons).
     seed:
-        RNG seed for proposals and acceptance.
+        RNG seed for proposals and acceptance; chain ``c`` uses
+        ``seed + c``.
+    n_chains:
+        Number of independent lockstep chains (1 = sequential engine).
+    history_stride:
+        Record every ``stride``-th iteration into the history columns.
+        1 (the default) preserves the original per-iteration trace.
     """
 
     n_iterations: int = 2000
@@ -42,24 +69,102 @@ class SAConfig:
     time_limit: float | None = None
     seed: int = 0
     calibration_samples: int = 20
+    n_chains: int = 1
+    history_stride: int = 1
 
     def __post_init__(self) -> None:
         if self.n_iterations < 1:
             raise ValueError("n_iterations must be >= 1")
         if self.final_temperature <= 0:
             raise ValueError("final_temperature must be positive")
+        if self.n_chains < 1:
+            raise ValueError("n_chains must be >= 1")
+        if self.history_stride < 1:
+            raise ValueError("history_stride must be >= 1")
+
+
+class SAHistory:
+    """Column-oriented annealing trace in preallocated numpy storage.
+
+    Replaces the one-dict-per-iteration list the engine used to build
+    (~4 boxed floats per iteration): rows land in a single ``(capacity,
+    4)`` float64 block, and dicts are materialized only when a consumer
+    actually indexes or iterates.  The sequence protocol keeps existing
+    consumers (``len``, iteration, integer indexing, ``history[0]`` in
+    the CSV writer) working unchanged.
+    """
+
+    FIELDS = ("iteration", "temperature", "current_cost", "best_cost")
+
+    __slots__ = ("stride", "_rows", "_n")
+
+    def __init__(self, capacity: int, stride: int = 1):
+        if stride < 1:
+            raise ValueError("stride must be >= 1")
+        self.stride = stride
+        rows = -(-max(capacity, 0) // stride)  # ceil division
+        self._rows = np.empty((rows, len(self.FIELDS)), dtype=np.float64)
+        self._n = 0
+
+    def record(
+        self,
+        iteration: int,
+        temperature: float,
+        current_cost: float,
+        best_cost: float,
+    ) -> None:
+        """Append one iteration's row (skipped when off-stride)."""
+        if iteration % self.stride:
+            return
+        if self._n == len(self._rows):  # time-limited reruns, safety
+            grown = np.empty(
+                (max(2 * len(self._rows), 16), len(self.FIELDS))
+            )
+            grown[: self._n] = self._rows[: self._n]
+            self._rows = grown
+        self._rows[self._n] = (iteration, temperature, current_cost, best_cost)
+        self._n += 1
+
+    def column(self, name: str) -> np.ndarray:
+        """One recorded column as a float64 array (read-only view)."""
+        view = self._rows[: self._n, self.FIELDS.index(name)]
+        view.flags.writeable = False
+        return view
+
+    def _as_dict(self, row: np.ndarray) -> dict:
+        entry = dict(zip(self.FIELDS, row))
+        entry["iteration"] = int(row[0])
+        return entry
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._as_dict(row) for row in self._rows[: self._n][index]]
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError("history index out of range")
+        return self._as_dict(self._rows[index])
+
+    def __iter__(self):
+        for row in self._rows[: self._n]:
+            yield self._as_dict(row)
 
 
 @dataclass
 class SAResult:
-    """Outcome of one annealing run."""
+    """Outcome of one annealing run (single- or multi-chain)."""
 
     best_state: object
     best_cost: float
     n_evaluations: int
     n_accepted: int
     elapsed: float
-    history: list = field(default_factory=list)
+    history: SAHistory | list = field(default_factory=list)
+    n_chains: int = 1
+    chain_best_costs: np.ndarray | None = None
 
     @property
     def acceptance_rate(self) -> float:
@@ -74,18 +179,41 @@ class SimulatedAnnealing:
     propose:
         ``propose(state, rng, progress) -> new_state | None``; ``None``
         means the move was infeasible and is skipped (not evaluated).
+        Must not mutate its input state (every caller in this repo
+        copies before perturbing).
     evaluate:
         ``evaluate(state) -> cost`` (lower is better).
     config:
         Schedule and budget.
+    evaluate_many:
+        Optional vectorized ``evaluate_many(states) -> costs`` used by
+        the multi-chain engine; defaults to mapping ``evaluate`` over
+        the batch (bitwise-identical costs, no speedup).
     """
 
-    def __init__(self, propose, evaluate, config: SAConfig | None = None):
+    def __init__(
+        self,
+        propose,
+        evaluate,
+        config: SAConfig | None = None,
+        evaluate_many=None,
+    ):
         self.propose = propose
         self.evaluate = evaluate
         self.config = config or SAConfig()
+        self.evaluate_many = evaluate_many
 
     def run(self, initial_state) -> SAResult:
+        """Anneal from one initial state (replicated across chains)."""
+        if self.config.n_chains > 1:
+            return self.run_chains([initial_state] * self.config.n_chains)
+        return self._run_sequential(initial_state)
+
+    # ------------------------------------------------------------------
+    # sequential engine (n_chains=1) — golden-pinned, do not disturb
+    # ------------------------------------------------------------------
+
+    def _run_sequential(self, initial_state) -> SAResult:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
         start = time.perf_counter()
@@ -95,7 +223,7 @@ class SimulatedAnnealing:
         best, best_cost = current, current_cost
         n_evaluations = 1
         n_accepted = 0
-        history = []
+        history = SAHistory(cfg.n_iterations, cfg.history_stride)
 
         t0 = cfg.initial_temperature
         if t0 is None:
@@ -125,14 +253,7 @@ class SimulatedAnnealing:
                 n_accepted += 1
                 if current_cost < best_cost:
                     best, best_cost = current, current_cost
-            history.append(
-                {
-                    "iteration": iteration,
-                    "temperature": temperature,
-                    "current_cost": current_cost,
-                    "best_cost": best_cost,
-                }
-            )
+            history.record(iteration, temperature, current_cost, best_cost)
 
         return SAResult(
             best_state=best,
@@ -162,3 +283,131 @@ class SimulatedAnnealing:
             return 1.0, evaluations
         # Accept an average uphill move with probability ~0.5 initially.
         return float(np.mean(deltas) / math.log(2.0)), evaluations
+
+    # ------------------------------------------------------------------
+    # lockstep multi-chain engine
+    # ------------------------------------------------------------------
+
+    def _evaluate_states(self, states) -> np.ndarray:
+        if self.evaluate_many is not None:
+            return np.asarray(self.evaluate_many(states), dtype=np.float64)
+        return np.array([self.evaluate(s) for s in states], dtype=np.float64)
+
+    def run_chains(self, initial_states) -> SAResult:
+        """Anneal ``len(initial_states)`` chains in lockstep.
+
+        Each iteration proposes one move per chain, evaluates every
+        feasible candidate in a single ``evaluate_many`` call, and
+        applies the Metropolis rule per chain with that chain's own RNG
+        and temperature.  History rows aggregate across chains:
+        ``temperature`` is the chain mean, ``current_cost``/``best_cost``
+        are population minima.
+        """
+        cfg = self.config
+        chains = len(initial_states)
+        if chains < 1:
+            raise ValueError("run_chains needs at least one initial state")
+        rngs = [np.random.default_rng(cfg.seed + c) for c in range(chains)]
+        start = time.perf_counter()
+
+        current = list(initial_states)
+        costs = self._evaluate_states(current)
+        best = list(current)
+        best_costs = costs.copy()
+        n_evaluations = chains
+        n_accepted = 0
+        history = SAHistory(cfg.n_iterations, cfg.history_stride)
+
+        if cfg.initial_temperature is None:
+            t0, calibration_evals = self._calibrate_chains(current, costs, rngs)
+            n_evaluations += calibration_evals
+        else:
+            t0 = np.full(chains, float(cfg.initial_temperature))
+        cooling = (cfg.final_temperature / t0) ** (
+            1.0 / max(cfg.n_iterations, 1)
+        )
+
+        temperature = t0.copy()
+        for iteration in range(cfg.n_iterations):
+            if (
+                cfg.time_limit is not None
+                and time.perf_counter() - start > cfg.time_limit
+            ):
+                break
+            progress = iteration / cfg.n_iterations
+            candidates = [
+                self.propose(current[c], rngs[c], progress)
+                for c in range(chains)
+            ]
+            temperature *= cooling
+            live = [c for c in range(chains) if candidates[c] is not None]
+            if not live:
+                continue
+            candidate_costs = self._evaluate_states(
+                [candidates[c] for c in live]
+            )
+            n_evaluations += len(live)
+            for k, c in enumerate(live):
+                delta = candidate_costs[k] - costs[c]
+                if delta <= 0 or rngs[c].random() < math.exp(
+                    -delta / max(temperature[c], 1e-12)
+                ):
+                    current[c] = candidates[c]
+                    costs[c] = candidate_costs[k]
+                    n_accepted += 1
+                    if costs[c] < best_costs[c]:
+                        best[c] = current[c]
+                        best_costs[c] = costs[c]
+            history.record(
+                iteration,
+                float(temperature.mean()),
+                float(costs.min()),
+                float(best_costs.min()),
+            )
+
+        winner = int(np.argmin(best_costs))
+        return SAResult(
+            best_state=best[winner],
+            best_cost=float(best_costs[winner]),
+            n_evaluations=n_evaluations,
+            n_accepted=n_accepted,
+            elapsed=time.perf_counter() - start,
+            history=history,
+            n_chains=chains,
+            chain_best_costs=best_costs,
+        )
+
+    def _calibrate_chains(self, states, costs, rngs) -> tuple:
+        """Per-chain :meth:`_calibrate` with batched evaluations.
+
+        Each chain performs the same proposal draws a sequential
+        calibration with its seed would; only the cost evaluations are
+        fanned into ``evaluate_many`` (evaluation consumes no RNG, so
+        the batching is unobservable to the chains).  Returns
+        (per-chain temperatures, evaluations spent).
+        """
+        chains = len(states)
+        deltas = [[] for _ in range(chains)]
+        evaluations = 0
+        for _ in range(self.config.calibration_samples):
+            candidates = [
+                self.propose(states[c], rngs[c], 0.0) for c in range(chains)
+            ]
+            live = [c for c in range(chains) if candidates[c] is not None]
+            if not live:
+                continue
+            candidate_costs = self._evaluate_states(
+                [candidates[c] for c in live]
+            )
+            evaluations += len(live)
+            for k, c in enumerate(live):
+                delta = candidate_costs[k] - costs[c]
+                if delta > 0:
+                    deltas[c].append(delta)
+        t0 = np.array(
+            [
+                float(np.mean(d) / math.log(2.0)) if d else 1.0
+                for d in deltas
+            ]
+        )
+        return t0, evaluations

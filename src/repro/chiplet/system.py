@@ -69,6 +69,13 @@ class ChipletSystem:
                     raise ValueError(
                         f"net endpoint {end!r} is not a chiplet of {self.name!r}"
                     )
+        # Name lookup table: chiplet() sits on every footprint/validation
+        # hot path, so a linear scan per call adds up fast.  The dataclass
+        # is frozen, hence the direct __setattr__ (the map is derived
+        # state, not a field).
+        object.__setattr__(
+            self, "_chiplets_by_name", {c.name: c for c in self.chiplets}
+        )
 
     # -- lookups ---------------------------------------------------------
 
@@ -81,10 +88,12 @@ class ChipletSystem:
         return tuple(c.name for c in self.chiplets)
 
     def chiplet(self, name: str) -> Chiplet:
-        for c in self.chiplets:
-            if c.name == name:
-                return c
-        raise KeyError(f"no chiplet {name!r} in system {self.name!r}")
+        try:
+            return self._chiplets_by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"no chiplet {name!r} in system {self.name!r}"
+            ) from None
 
     def nets_of(self, chiplet_name: str) -> tuple:
         """All nets incident to the named chiplet."""

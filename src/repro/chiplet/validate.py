@@ -7,9 +7,16 @@ baseline (whose moves can propose anything) rely on.
 
 from __future__ import annotations
 
+import math
+
 from repro.chiplet.system import ChipletSystem, Placement
 
-__all__ = ["ValidationError", "validate_system", "validate_placement"]
+__all__ = [
+    "ValidationError",
+    "validate_system",
+    "validate_placement",
+    "placement_is_legal",
+]
 
 
 class ValidationError(ValueError):
@@ -70,6 +77,59 @@ def placement_violations(placement: Placement, require_complete: bool = True) ->
                     f"{interposer.min_spacing} mm"
                 )
     return problems
+
+
+def placement_is_legal(
+    placement: Placement, require_complete: bool = True
+) -> bool:
+    """Boolean twin of :func:`placement_violations`, built for hot loops.
+
+    Annealing proposal loops only need pass/fail, not messages, and call
+    this thousands of times per run.  This version works on raw position
+    tuples (no Rect objects, no message formatting) and returns at the
+    first violation; decisions — including the 1e-9 mm tolerances — are
+    identical to :func:`placement_violations`.
+    """
+    system = placement.system
+    interposer = system.interposer
+    positions = placement.positions
+    if require_complete and len(positions) != system.n_chiplets:
+        return False
+    tol = 1e-9
+    x_limit = interposer.width + tol
+    y_limit = interposer.height + tol
+    min_gap = interposer.min_spacing - 1e-9
+    coords = []
+    for name, (x, y, rotated) in positions.items():
+        chiplet = system.chiplet(name)
+        if rotated:
+            w, h = chiplet.height, chiplet.width
+        else:
+            w, h = chiplet.width, chiplet.height
+        x2, y2 = x + w, y + h
+        if x < -tol or y < -tol or x2 > x_limit or y2 > y_limit:
+            return False
+        coords.append((x, y, x2, y2))
+    # Pairwise clearance, mirroring Rect.overlaps / Rect.gap exactly.
+    for i in range(len(coords)):
+        xi, yi, xi2, yi2 = coords[i]
+        for j in range(i + 1, len(coords)):
+            xj, yj, xj2, yj2 = coords[j]
+            if xi < xj2 and xj < xi2 and yi < yj2 and yj < yi2:
+                return False  # open interiors intersect
+            gx = xj - xi2
+            if xi - xj2 > gx:
+                gx = xi - xj2
+            if gx < 0.0:
+                gx = 0.0
+            gy = yj - yi2
+            if yi - yj2 > gy:
+                gy = yi - yj2
+            if gy < 0.0:
+                gy = 0.0
+            if math.hypot(gx, gy) < min_gap:
+                return False
+    return True
 
 
 def validate_placement(placement: Placement, require_complete: bool = True) -> None:

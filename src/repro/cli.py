@@ -37,6 +37,7 @@ def _budget_from_args(args) -> ExperimentBudget:
         sa_iterations_hotspot=args.sa_iterations,
         seed=args.seed,
         rollout_batch_size=args.batch_size,
+        sa_chains=args.sa_chains,
     )
 
 
@@ -49,9 +50,16 @@ def _add_budget_args(parser) -> None:
     parser.add_argument(
         "--batch-size",
         type=int,
-        default=1,
+        default=16,
         help="rollout batch width for RL collection "
         "(1 = sequential engine, >1 = lockstep batched engine)",
+    )
+    parser.add_argument(
+        "--sa-chains",
+        type=int,
+        default=16,
+        help="lockstep annealing chains for the fast-thermal SA baseline "
+        "(1 = sequential engine, >1 = batched best-of-N chains)",
     )
     parser.add_argument(
         "--paper-scale",

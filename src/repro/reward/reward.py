@@ -20,7 +20,13 @@ import math
 import time
 from dataclasses import dataclass
 
-from repro.bumps import BumpAssigner, estimate_wirelength
+import numpy as np
+
+from repro.bumps import (
+    BumpAssigner,
+    estimate_wirelength,
+    estimate_wirelength_batch,
+)
 from repro.chiplet import Placement
 from repro.thermal.config import KELVIN_OFFSET
 
@@ -72,6 +78,32 @@ class RewardConfig:
         return -self.lambda_wl * wirelength_mm - self.mu * self.thermal_penalty(
             t_celsius
         )
+
+    def thermal_penalty_many(self, t_celsius: np.ndarray) -> np.ndarray:
+        """Elementwise :meth:`thermal_penalty` over a temperature array.
+
+        Each element runs the exact scalar operations (the logistic term
+        is only evaluated where the excess is positive, so no overflow
+        for far-below-limit temperatures either).
+        """
+        t_celsius = np.asarray(t_celsius, dtype=np.float64)
+        excess = np.maximum(t_celsius - self.t_limit, 0.0)
+        penalty = np.zeros_like(excess)
+        hot = excess > 0.0
+        if np.any(hot):
+            t_hot = t_celsius[hot]
+            penalty[hot] = excess[hot] ** self.alpha / (
+                1.0 + np.exp(-(t_hot - self.t_limit))
+            )
+        return penalty
+
+    def combine_many(
+        self, wirelength_mm: np.ndarray, t_celsius: np.ndarray
+    ) -> np.ndarray:
+        """Elementwise :meth:`combine` over wirelength/temperature arrays."""
+        return -self.lambda_wl * np.asarray(
+            wirelength_mm, dtype=np.float64
+        ) - self.mu * self.thermal_penalty_many(t_celsius)
 
 
 @dataclass(frozen=True)
@@ -125,6 +157,50 @@ class RewardCalculator:
         if self.config.use_bump_assignment:
             return self.assigner.assign(placement).total_wirelength
         return estimate_wirelength(placement)
+
+    def wirelength_many(self, placements) -> np.ndarray:
+        """Batched :meth:`wirelength`.
+
+        The bundle estimator vectorizes across the batch; per-wire bump
+        assignment is inherently sequential (sites are allocated
+        greedily per placement) and runs as a loop.
+        """
+        placements = list(placements)
+        if self.config.use_bump_assignment:
+            return np.array(
+                [
+                    self.assigner.assign(p).total_wirelength
+                    for p in placements
+                ]
+            )
+        return estimate_wirelength_batch(placements)
+
+    def evaluate_many(self, placements) -> np.ndarray:
+        """Rewards of a batch of placements in one vectorized pass.
+
+        The search-baseline hot path: multi-chain annealers and batched
+        random search only need the scalar objective per candidate, so
+        this skips the per-placement :class:`RewardBreakdown`
+        construction of :meth:`evaluate_batch` and fans the whole batch
+        into the batched wirelength estimator and the thermal
+        evaluator's vectorized peak-temperature path
+        (``max_temperatures``) when it offers one.  Rewards match
+        :meth:`evaluate` to float rounding.
+        """
+        placements = list(placements)
+        if not placements:
+            return np.empty(0)
+        wirelengths = self.wirelength_many(placements)
+        batch_temps = getattr(self.thermal, "max_temperatures", None)
+        if batch_temps is not None:
+            max_temps = np.asarray(batch_temps(placements), dtype=np.float64)
+        else:
+            max_temps = np.array(
+                [self.thermal.evaluate(p).max_temperature for p in placements]
+            )
+        t_celsius = max_temps - KELVIN_OFFSET
+        self.evaluation_count += len(placements)
+        return self.config.combine_many(wirelengths, t_celsius)
 
     def evaluate_batch(self, placements) -> list:
         """Evaluate a batch of completed placements in one pass.

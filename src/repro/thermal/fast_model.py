@@ -109,9 +109,11 @@ def _interp_rows(x: np.ndarray, xs: np.ndarray, fp_rows: np.ndarray) -> np.ndarr
     clamp to the end values, like :func:`np.interp`.  Purely elementwise,
     so each row's result is independent of the rest of the batch.
     """
-    idx = np.clip(np.searchsorted(xs, x) - 1, 0, len(xs) - 2)
+    idx = np.minimum(
+        np.maximum(np.searchsorted(xs, x) - 1, 0), len(xs) - 2
+    )
     x_lo = xs[idx]
-    frac = np.clip((x - x_lo) / (xs[idx + 1] - x_lo), 0.0, 1.0)
+    frac = np.minimum(np.maximum((x - x_lo) / (xs[idx + 1] - x_lo), 0.0), 1.0)
     lo = np.take_along_axis(fp_rows, idx, axis=-1)
     hi = np.take_along_axis(fp_rows, idx + 1, axis=-1)
     return lo + (hi - lo) * frac
@@ -120,29 +122,67 @@ def _interp_rows(x: np.ndarray, xs: np.ndarray, fp_rows: np.ndarray) -> np.ndarr
 def _bilinear_field(
     xs: np.ndarray, ys: np.ndarray, field: np.ndarray, points: np.ndarray
 ) -> np.ndarray:
-    """Vectorized bilinear sampling of a 2D field at ``(n, 2)`` points."""
-    px = np.clip(points[:, 0], xs[0], xs[-1])
-    py = np.clip(points[:, 1], ys[0], ys[-1])
-    ix = np.clip(np.searchsorted(xs, px) - 1, 0, max(len(xs) - 2, 0))
-    iy = np.clip(np.searchsorted(ys, py) - 1, 0, max(len(ys) - 2, 0))
-    if len(xs) > 1:
-        fx = (px - xs[ix]) / (xs[ix + 1] - xs[ix])
-        ix1 = ix + 1
-    else:
-        fx = np.zeros_like(px)
-        ix1 = ix
-    if len(ys) > 1:
-        fy = (py - ys[iy]) / (ys[iy + 1] - ys[iy])
-        iy1 = iy + 1
-    else:
-        fy = np.zeros_like(py)
-        iy1 = iy
-    return (
-        field[iy, ix] * (1 - fx) * (1 - fy)
-        + field[iy, ix1] * fx * (1 - fy)
-        + field[iy1, ix] * (1 - fx) * fy
-        + field[iy1, ix1] * fx * fy
-    )
+    """Vectorized bilinear sampling of a 2D field at ``(n, 2)`` points.
+
+    One-shot form of :class:`_BilinearStencil` (which holds the index
+    math when the same points sample several fields); sharing the
+    implementation keeps the two paths bitwise interchangeable.
+    """
+    return _BilinearStencil(xs, ys, points).sample(field)
+
+
+class _BilinearStencil:
+    """Reusable index/fraction terms of :func:`_bilinear_field`.
+
+    The anisotropy grids (``delta_xs``/``delta_ys``) are crops of the one
+    shared solver grid, so every source die samples the same lattice at
+    the same points within a batch — the clip/searchsorted half of the
+    bilinear lookup can be computed once per point set and reused across
+    sources, leaving only the per-field gather.  ``sample`` multiplies in
+    exactly :func:`_bilinear_field`'s association order, so results are
+    bitwise identical.
+    """
+
+    __slots__ = ("xs", "ys", "ix", "iy", "ix1", "iy1", "fx", "fy")
+
+    def __init__(self, xs: np.ndarray, ys: np.ndarray, points: np.ndarray):
+        self.xs = xs
+        self.ys = ys
+        px = np.minimum(np.maximum(points[:, 0], xs[0]), xs[-1])
+        py = np.minimum(np.maximum(points[:, 1], ys[0]), ys[-1])
+        ix = np.minimum(
+            np.maximum(np.searchsorted(xs, px) - 1, 0), max(len(xs) - 2, 0)
+        )
+        iy = np.minimum(
+            np.maximum(np.searchsorted(ys, py) - 1, 0), max(len(ys) - 2, 0)
+        )
+        if len(xs) > 1:
+            self.fx = (px - xs[ix]) / (xs[ix + 1] - xs[ix])
+            self.ix1 = ix + 1
+        else:
+            self.fx = np.zeros_like(px)
+            self.ix1 = ix
+        if len(ys) > 1:
+            self.fy = (py - ys[iy]) / (ys[iy + 1] - ys[iy])
+            self.iy1 = iy + 1
+        else:
+            self.fy = np.zeros_like(py)
+            self.iy1 = iy
+        self.ix = ix
+        self.iy = iy
+
+    def matches(self, xs: np.ndarray, ys: np.ndarray) -> bool:
+        if self.xs is xs and self.ys is ys:
+            return True
+        return np.array_equal(self.xs, xs) and np.array_equal(self.ys, ys)
+
+    def sample(self, field: np.ndarray) -> np.ndarray:
+        return (
+            field[self.iy, self.ix] * (1 - self.fx) * (1 - self.fy)
+            + field[self.iy, self.ix1] * self.fx * (1 - self.fy)
+            + field[self.iy1, self.ix] * (1 - self.fx) * self.fy
+            + field[self.iy1, self.ix1] * self.fx * self.fy
+        )
 
 
 @dataclass
@@ -421,7 +461,12 @@ class FastThermalModel:
         Only ``ambient`` is consulted; defaults to the standard config.
     """
 
-    def __init__(self, tables: ResistanceTables, config: ThermalConfig | None = None):
+    def __init__(
+        self,
+        tables: ResistanceTables,
+        config: ThermalConfig | None = None,
+        incremental: bool = False,
+    ):
         self.tables = tables
         self.config = config or ThermalConfig()
         if abs(self.tables.ambient - self.config.ambient) > 1e-6:
@@ -429,9 +474,33 @@ class FastThermalModel:
                 "tables were characterized at a different ambient temperature"
             )
         self.evaluate_count = 0
+        # Opt-in single-move fast path: consecutive evaluate() calls that
+        # displace/swap/rotate a few dies update only the affected
+        # self/mutual coupling terms (O(n) per moved die) instead of
+        # rebuilding the full O(n^2) interaction.  Off by default because
+        # running sums accumulate ~1e-12-level float drift relative to
+        # the full evaluation (bounded by periodic refresh; the exactness
+        # test pins it below 1e-9).
+        self.incremental = incremental
+        self._incremental_state = None
 
     def evaluate(self, placement: Placement) -> ThermalResult:
         """Predict per-die and maximum temperature for a placement."""
+        if self.incremental:
+            from repro.thermal.incremental import IncrementalEvaluator
+
+            if (
+                self._incremental_state is None
+                or self._incremental_state.model is not self
+            ):
+                self._incremental_state = IncrementalEvaluator(self)
+            result = self._incremental_state.evaluate(placement)
+            self.evaluate_count += 1
+            return result
+        return self._evaluate_full(placement)
+
+    def _evaluate_full(self, placement: Placement) -> ThermalResult:
+        """The direct (non-incremental) superposition evaluation."""
         start = time.perf_counter()
         footprints = placement.footprints()
         names = list(footprints)
@@ -492,107 +561,22 @@ class FastThermalModel:
         computed elementwise along the batch axis, so it never depends
         on which other placements share the batch (width invariance).
 
-        The batch must place the same die set in every placement (the
-        lockstep rollout engine guarantees this); otherwise this falls
-        back to scalar evaluation.  Per-result ``elapsed`` is the batch
-        time divided evenly.
+        The batch must place the same die *set* in every placement (the
+        lockstep rollout engine and the multi-chain annealers guarantee
+        this; per-die terms are keyed by name, so placement-dict order
+        is free to differ); otherwise this falls back to scalar
+        evaluation.  Per-result ``elapsed`` is the batch time divided
+        evenly.
         """
         placements = list(placements)
         if not placements:
             return []
         start = time.perf_counter()
-        footprints_list = [p.footprints() for p in placements]
-        names = list(footprints_list[0])
-        if not names or any(list(f) != names for f in footprints_list[1:]):
+        core = self._batch_temps(placements)
+        if core is None:
             return [self.evaluate(p) for p in placements]
+        names, temps = core
         n_b = len(placements)
-        n_d = len(names)
-        system = placements[0].system
-        ambient = self.config.ambient
-        powers = np.array([system.chiplet(n).power for n in names])
-
-        rects = [[footprints_list[b][n] for n in names] for b in range(n_b)]
-        origin = np.array(
-            [[(r.x, r.y) for r in row] for row in rects]
-        )  # (n_b, n_d, 2)
-        center = np.array([[(r.cx, r.cy) for r in row] for row in rects])
-
-        # Rotation can differ per placement, so partition each die's
-        # batch rows by quantized footprint size (usually one group).
-        die_groups: list = []
-        for i in range(n_d):
-            by_key: dict = {}
-            for b in range(n_b):
-                rect = rects[b][i]
-                by_key.setdefault(size_key(rect.w, rect.h), []).append(b)
-            groups = []
-            for rows in by_key.values():
-                rect = rects[rows[0]][i]
-                groups.append(
-                    (
-                        self.tables.for_size(rect.w, rect.h),
-                        np.asarray(rows, dtype=np.intp),
-                    )
-                )
-            die_groups.append(groups)
-
-        # Blend each source die's radial profile for every episode once.
-        radial_parts: list = []
-        for j in range(n_d):
-            parts = []
-            for st, rows in die_groups[j]:
-                profiles = st.mutual_profiles_many(
-                    center[rows, j, 0], center[rows, j, 1]
-                )
-                parts.append((st, rows, profiles))
-            radial_parts.append(parts)
-
-        temps = np.empty((n_b, n_d))
-        for i in range(n_d):
-            for st_v, rows_v in die_groups[i]:
-                points = (
-                    origin[rows_v, i][:, None, :]
-                    + st_v.sample_offsets()[None, :, :]
-                )  # (m, P, 2)
-                m, n_pts = points.shape[:2]
-                r_self = st_v.r_self_at_many(
-                    center[rows_v, i, 0], center[rows_v, i, 1]
-                )
-                field = (
-                    r_self[:, None] * powers[i] * st_v.profile.ravel()[None, :]
-                )
-                mutual = np.zeros((m, n_pts))
-                for j in range(n_d):
-                    if j == i or powers[j] <= 0.0:
-                        continue
-                    for st_j, rows_j, profiles in radial_parts[j]:
-                        if len(rows_j) == n_b:
-                            # Common case: one orientation group covering
-                            # the whole batch — no row bookkeeping.
-                            sel, b_sel = slice(None), rows_v
-                            pos = rows_v
-                            n_sel = m
-                        else:
-                            sel = np.flatnonzero(np.isin(rows_v, rows_j))
-                            if len(sel) == 0:
-                                continue
-                            b_sel = rows_v[sel]
-                            pos = np.searchsorted(rows_j, b_sel)
-                            n_sel = len(sel)
-                        pts_sel = points[sel]
-                        dist = np.hypot(
-                            pts_sel[..., 0] - center[b_sel, j, 0][:, None],
-                            pts_sel[..., 1] - center[b_sel, j, 1][:, None],
-                        )
-                        contrib = _interp_rows(
-                            dist, st_j.mut_distances, profiles[pos]
-                        )
-                        contrib += st_j.mut_delta_at(
-                            pts_sel.reshape(-1, 2)
-                        ).reshape(n_sel, n_pts)
-                        mutual[sel] += contrib * powers[j]
-                temps[rows_v, i] = ambient + (field + mutual).max(axis=1)
-
         self.evaluate_count += n_b
         elapsed = time.perf_counter() - start
         return [
@@ -607,3 +591,170 @@ class FastThermalModel:
             )
             for b in range(n_b)
         ]
+
+    def max_temperatures(self, placements) -> np.ndarray:
+        """Peak package temperature (K) of each placement, vectorized.
+
+        The search-loop hot path: identical temperatures to
+        :meth:`evaluate_batch` without materializing per-die dicts or
+        :class:`ThermalResult` objects.  Falls back to scalar evaluation
+        for heterogeneous batches.
+        """
+        placements = list(placements)
+        if not placements:
+            return np.empty(0)
+        core = self._batch_temps(placements)
+        if core is None:
+            return np.array(
+                [self.evaluate(p).max_temperature for p in placements]
+            )
+        _, temps = core
+        self.evaluate_count += len(placements)
+        return temps.max(axis=1)
+
+    def _batch_temps(self, placements):
+        """Vectorized per-die temperatures for a same-die-set batch.
+
+        Returns ``(names, temps)`` with ``temps`` of shape
+        ``(n_placements, n_dies)`` in Kelvin, or ``None`` when the batch
+        cannot vectorize (empty or differing die sets) and the caller
+        must fall back to scalar evaluation.
+        """
+        positions_list = [p.positions for p in placements]
+        names = list(positions_list[0])
+        system = placements[0].system
+        # Powers and die sizes come from the shared system, so a batch
+        # mixing systems (even with matching die names) must fall back
+        # to scalar evaluation rather than borrow the first system's.
+        if (
+            not names
+            or any(p.system is not system for p in placements[1:])
+            or any(
+                pos.keys() != positions_list[0].keys()
+                for pos in positions_list[1:]
+            )
+        ):
+            return None
+        n_b = len(placements)
+        n_d = len(names)
+        ambient = self.config.ambient
+        chiplets = [system.chiplet(n) for n in names]
+        powers = np.array([c.power for c in chiplets])
+
+        # Footprint geometry straight from the raw (x, y, rotated)
+        # triples in one bulk conversion — no Rect objects, no
+        # per-element numpy writes.  (Multiplying by 0.5 and dividing by
+        # 2.0 are both exact, so centers match Rect.cx/cy bitwise.)
+        raw = np.array(
+            [
+                [positions[name] for name in names]
+                for positions in positions_list
+            ]
+        )  # (n_b, n_d, 3): x, y, rotated-flag
+        origin = raw[:, :, :2]
+        rotated = raw[:, :, 2] != 0.0
+        dims = np.array([(c.width, c.height) for c in chiplets])
+        size = np.where(rotated[:, :, None], dims[:, ::-1][None], dims[None])
+        center = origin + size * 0.5
+
+        # Rotation can differ per placement; partition each die's batch
+        # rows by orientation (usually one group — square dies share a
+        # characterization table either way).
+        die_groups: list = []
+        all_rows = np.arange(n_b)
+        for i in range(n_d):
+            w, h = float(dims[i, 0]), float(dims[i, 1])
+            column = rotated[:, i]
+            if w == h or not column.any():
+                die_groups.append([(self.tables.for_size(w, h), all_rows)])
+            elif column.all():
+                die_groups.append([(self.tables.for_size(h, w), all_rows)])
+            else:
+                die_groups.append(
+                    [
+                        (self.tables.for_size(w, h), np.flatnonzero(~column)),
+                        (self.tables.for_size(h, w), np.flatnonzero(column)),
+                    ]
+                )
+
+        # Concatenate every die's sample cells into one point axis so the
+        # mutual field is computed *source-major*: one radial
+        # interpolation + one anisotropy lookup per (source die,
+        # orientation group) covering ALL victims at once, instead of one
+        # per (victim die, source die) pair.  Orientation mixes (multi-
+        # chain annealing proposes rotations independently per chain)
+        # would otherwise fragment the batch into per-pair row subsets.
+        # A die's slice requires an orientation-invariant sample count
+        # (profiles of rotated tables are transposed, so this always
+        # holds for the bundled characterizations); bail out otherwise.
+        counts = []
+        for groups in die_groups:
+            die_counts = {st.profile.size for st, _ in groups}
+            if len(die_counts) != 1:
+                return None
+            counts.append(die_counts.pop())
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        p_tot = int(offsets[-1])
+
+        points = np.empty((n_b, p_tot, 2))
+        self_field = np.empty((n_b, p_tot))
+        for i in range(n_d):
+            sl = slice(offsets[i], offsets[i + 1])
+            for st, rows in die_groups[i]:
+                points[rows, sl] = (
+                    origin[rows, i][:, None, :]
+                    + st.sample_offsets()[None, :, :]
+                )
+                r_self = st.r_self_at_many(
+                    center[rows, i, 0], center[rows, i, 1]
+                )
+                self_field[rows, sl] = (
+                    r_self[:, None] * powers[i] * st.profile.ravel()[None, :]
+                )
+
+        mutual = np.zeros((n_b, p_tot))
+        stencils: dict = {}
+        for j in range(n_d):
+            if powers[j] <= 0.0:
+                continue
+            sl_j = slice(offsets[j], offsets[j + 1])
+            for st_j, rows in die_groups[j]:
+                profiles = st_j.mutual_profiles_many(
+                    center[rows, j, 0], center[rows, j, 1]
+                )
+                pts = points[rows]
+                dist = np.hypot(
+                    pts[..., 0] - center[rows, j, 0][:, None],
+                    pts[..., 1] - center[rows, j, 1][:, None],
+                )
+                contrib = _interp_rows(dist, st_j.mut_distances, profiles)
+                # Anisotropy correction via a shared per-row-set stencil
+                # (all sizes crop the same solver grid in practice; the
+                # matches() guard rebuilds if one ever doesn't).
+                key = rows.tobytes()
+                stencil = stencils.get(key)
+                if stencil is None or not stencil.matches(
+                    st_j.delta_xs, st_j.delta_ys
+                ):
+                    stencil = _BilinearStencil(
+                        st_j.delta_xs, st_j.delta_ys, pts.reshape(-1, 2)
+                    )
+                    stencils[key] = stencil
+                contrib += stencil.sample(st_j.mut_delta).reshape(
+                    len(rows), p_tot
+                )
+                # A die never couples to itself; zeroing (rather than
+                # masking) keeps the accumulation elementwise and exact
+                # (adding +0.0 is the identity on these fields).
+                contrib[:, sl_j] = 0.0
+                contrib *= powers[j]
+                mutual[rows] += contrib
+
+        temps = np.empty((n_b, n_d))
+        for i in range(n_d):
+            sl = slice(offsets[i], offsets[i + 1])
+            temps[:, i] = ambient + (
+                self_field[:, sl] + mutual[:, sl]
+            ).max(axis=1)
+
+        return names, temps

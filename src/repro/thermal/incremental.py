@@ -1,0 +1,242 @@
+"""Incremental single-move fast path for :class:`FastThermalModel`.
+
+A simulated-annealing proposal displaces, swaps or rotates one or two
+chiplets and leaves the rest untouched — yet the full superposition
+evaluation rebuilds every (die, die) coupling term from scratch: O(n^2)
+radial interpolations and anisotropy lookups per proposal.  The LTI
+structure makes most of that redundant: moving die ``k`` only changes
+
+* die ``k``'s own self field and sample points (it moved),
+* the mutual contribution of ``k`` at every other die (one row), and
+* the mutual contribution of every other die at ``k`` (one column).
+
+This evaluator caches, per die, the sample points, the self field, the
+blended radial profile, and the per-source mutual contribution arrays.
+``evaluate(placement)`` diffs the placement against the cached one and
+recomputes only the terms touched by the moved dies — O(moved x n)
+table lookups instead of O(n^2).  Because annealing always proposes
+from the current state, consecutive evaluated candidates differ by a
+bounded number of dies (<= 4: undo of a rejected swap plus a new swap),
+so the delta path stays small regardless of run length.
+
+Per-die mutual sums are maintained as running totals (``+= new - old``),
+which accumulates float drift of order 1e-12 relative to the full
+evaluation; a full refresh every :data:`REFRESH_INTERVAL` updates keeps
+the worst case far below the 1e-9 exactness bound the regression test
+enforces.  The path is opt-in (``FastThermalModel(...,
+incremental=True)``) because results are not bitwise identical to the
+full evaluation.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.chiplet import Placement
+from repro.thermal.result import ThermalResult
+
+__all__ = ["IncrementalEvaluator", "REFRESH_INTERVAL"]
+
+# Full recomputation cadence of the running mutual sums (drift control).
+REFRESH_INTERVAL = 512
+
+
+class _DieCache:
+    """Cached thermal terms of one placed die."""
+
+    __slots__ = (
+        "position",
+        "tables",
+        "points",
+        "self_field",
+        "center",
+        "radial",
+        "contrib",
+        "mutual_sum",
+    )
+
+    def __init__(self):
+        self.position = None  # (x, y, rotated) as stored by Placement
+        self.tables = None  # SizeTables for the current orientation
+        self.points = None  # (P, 2) absolute sample-cell coordinates
+        self.self_field = None  # (P,) self rise in K
+        self.center = None  # (cx, cy)
+        self.radial = None  # blended radial profile (as a source)
+        self.contrib = {}  # source name -> (P,) mutual rise in K
+        self.mutual_sum = None  # (P,) running total of contrib values
+
+
+class IncrementalEvaluator:
+    """Delta-evaluating companion of one :class:`FastThermalModel`.
+
+    Not thread-safe and deliberately private to its model: the model
+    owns one instance and routes ``evaluate`` through it when its
+    ``incremental`` flag is set.
+    """
+
+    def __init__(self, model):
+        self.model = model
+        self._system = None
+        self._names: list = []
+        self._powers: dict = {}
+        self._dies: dict = {}
+        self._temps: dict = {}
+        self._updates_since_refresh = 0
+
+    # ------------------------------------------------------------------
+    # public entry
+    # ------------------------------------------------------------------
+
+    def evaluate(self, placement: Placement) -> ThermalResult:
+        """Thermal result via cached deltas (rebuilds when they can't apply)."""
+        start = time.perf_counter()
+        positions = placement.positions
+        names = list(positions)
+        if not names:
+            return ThermalResult(
+                {}, self.model.config.ambient, elapsed=time.perf_counter() - start
+            )
+        # Powers and die sizes live on the system, so a different system
+        # object (even one reusing die names on the same package) must
+        # invalidate the whole cache, not just position diffs.
+        if placement.system is not self._system or set(names) != set(
+            self._names
+        ):
+            self._rebuild(placement, names)
+        else:
+            moved = [
+                n for n in names if positions[n] != self._dies[n].position
+            ]
+            # A delta costs O(moved x n); past half the dies the full
+            # rebuild is both cheaper and drift-free.
+            if len(moved) > max(4, len(names) // 2):
+                self._rebuild(placement, names)
+            elif moved:
+                self._apply_moves(placement, moved)
+                self._updates_since_refresh += 1
+                if self._updates_since_refresh >= REFRESH_INTERVAL:
+                    self._refresh_sums()
+        temps = {name: self._temps[name] for name in names}
+        return ThermalResult(
+            chiplet_temperatures=temps,
+            max_temperature=max(temps.values()),
+            grid_temperatures=None,
+            elapsed=time.perf_counter() - start,
+            metadata={"method": "fast_lti_incremental"},
+        )
+
+    # ------------------------------------------------------------------
+    # cache construction
+    # ------------------------------------------------------------------
+
+    def _source_terms(self, cache: _DieCache, name: str, placement) -> None:
+        """Refresh a die's own geometry-dependent terms from the placement."""
+        rect = placement.footprint(name)
+        st = self.model.tables.for_size(rect.w, rect.h)
+        cache.position = placement.positions[name]
+        cache.tables = st
+        cache.center = (rect.cx, rect.cy)
+        cache.points = st.sample_offsets() + np.array([rect.x, rect.y])
+        cache.self_field = (
+            st.r_self_at(rect.cx, rect.cy)
+            * self._powers[name]
+            * st.profile.ravel()
+        )
+        cache.radial = st.mutual_profile(rect.cx, rect.cy)
+
+    def _mutual_contrib(self, victim: _DieCache, source: _DieCache, power):
+        """Source's mutual rise at the victim's sample points (K)."""
+        st = source.tables
+        dist = np.hypot(
+            victim.points[:, 0] - source.center[0],
+            victim.points[:, 1] - source.center[1],
+        )
+        return (
+            np.interp(dist, st.mut_distances, source.radial)
+            + st.mut_delta_at(victim.points)
+        ) * power
+
+    def _rebuild(self, placement: Placement, names: list) -> None:
+        """Full cache construction (same term order as the full path)."""
+        system = placement.system
+        self._system = system
+        self._names = names
+        self._powers = {n: system.chiplet(n).power for n in names}
+        self._dies = {n: _DieCache() for n in names}
+        for name in names:
+            self._source_terms(self._dies[name], name, placement)
+        for name in names:
+            victim = self._dies[name]
+            victim.contrib = {
+                other: self._mutual_contrib(
+                    victim, self._dies[other], self._powers[other]
+                )
+                for other in names
+                if other != name and self._powers[other] > 0.0
+            }
+        self._refresh_sums()
+        self._updates_since_refresh = 0
+
+    def _refresh_sums(self) -> None:
+        """Recompute every running mutual sum in canonical die order."""
+        for name in self._names:
+            die = self._dies[name]
+            total = np.zeros(len(die.points))
+            for other in self._names:
+                if other in die.contrib:
+                    total += die.contrib[other]
+            die.mutual_sum = total
+            self._temps[name] = self._die_temperature(die)
+        self._updates_since_refresh = 0
+
+    def _die_temperature(self, die: _DieCache) -> float:
+        return self.model.config.ambient + float(
+            (die.self_field + die.mutual_sum).max()
+        )
+
+    # ------------------------------------------------------------------
+    # the delta path
+    # ------------------------------------------------------------------
+
+    def _apply_moves(self, placement: Placement, moved: list) -> None:
+        touched = set(moved)
+        # 1. Refresh the moved dies' own source terms first so moved-vs-
+        #    moved pair terms use both new positions.
+        for name in moved:
+            self._source_terms(self._dies[name], name, placement)
+        # 2. Moved dies as sources: patch their one contribution at every
+        #    unmoved victim via the running sum.
+        for name in moved:
+            source = self._dies[name]
+            if self._powers[name] <= 0.0:
+                continue
+            for other in self._names:
+                if other == name or other in touched:
+                    continue
+                victim = self._dies[other]
+                fresh = self._mutual_contrib(victim, source, self._powers[name])
+                victim.mutual_sum += fresh - victim.contrib[name]
+                victim.contrib[name] = fresh
+        # 3. Moved dies as victims: their sample points changed, so every
+        #    incoming contribution is recomputed and summed from scratch
+        #    (ordered like the full path; no drift on these rows).
+        for name in moved:
+            victim = self._dies[name]
+            victim.contrib = {
+                other: self._mutual_contrib(
+                    victim, self._dies[other], self._powers[other]
+                )
+                for other in self._names
+                if other != name and self._powers[other] > 0.0
+            }
+            total = np.zeros(len(victim.points))
+            for other in self._names:
+                if other in victim.contrib:
+                    total += victim.contrib[other]
+            victim.mutual_sum = total
+        # 4. Re-derive every temperature (each is one max over the die's
+        #    sample cells; the expensive table lookups happened above).
+        for name in self._names:
+            self._temps[name] = self._die_temperature(self._dies[name])

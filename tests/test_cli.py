@@ -50,7 +50,9 @@ class TestBudgetConstruction:
         assert budget.rl_epochs == 5
         assert budget.grid_size == 16
         assert budget.seed == 3
-        assert budget.rollout_batch_size == 1  # default: sequential engine
+        # Defaults since PR 2: batched collection and multi-chain SA.
+        assert budget.rollout_batch_size == 16
+        assert budget.sa_chains == 16
 
     def test_batch_size_flag(self, monkeypatch, fake_results):
         captured = {}
@@ -60,8 +62,23 @@ class TestBudgetConstruction:
             return fake_results
 
         monkeypatch.setattr(cli, "run_table1", fake_run_table1)
-        cli.main(["table1", "--batch-size", "8"])
+        cli.main(["table1", "--batch-size", "8", "--sa-chains", "4"])
         assert captured["budget"].rollout_batch_size == 8
+        assert captured["budget"].sa_chains == 4
+
+    def test_sequential_engines_still_selectable(
+        self, monkeypatch, fake_results
+    ):
+        captured = {}
+
+        def fake_run_table1(budget):
+            captured["budget"] = budget
+            return fake_results
+
+        monkeypatch.setattr(cli, "run_table1", fake_run_table1)
+        cli.main(["table1", "--batch-size", "1", "--sa-chains", "1"])
+        assert captured["budget"].rollout_batch_size == 1
+        assert captured["budget"].sa_chains == 1
 
     def test_paper_scale_flag(self, monkeypatch, fake_results):
         captured = {}

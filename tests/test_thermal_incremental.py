@@ -1,0 +1,177 @@
+"""Exactness of the incremental single-move thermal fast path.
+
+The opt-in delta evaluator (``FastThermalModel(..., incremental=True)``)
+must track the full superposition evaluation within 1e-9 degC over long
+randomized move sequences — displacements, swaps and rotations, accepted
+or not — on every bundled system shape, including cache rebuilds when
+the die set changes and the periodic running-sum refresh.
+"""
+
+import numpy as np
+import pytest
+
+import repro.thermal.incremental as incremental
+from repro.baselines import TAP25DConfig, TAP25DPlacer
+from repro.baselines.random_search import random_legal_placement
+from repro.chiplet import Placement
+from repro.reward import RewardCalculator, RewardConfig
+from repro.systems import synthetic_system
+from repro.thermal import FastThermalModel, ThermalConfig, characterize_tables
+
+TOLERANCE_C = 1e-9
+
+
+def _paired_models(tables, config):
+    return (
+        FastThermalModel(tables, config),
+        FastThermalModel(tables, config, incremental=True),
+    )
+
+
+def _assert_matches(full_model, inc_model, placement):
+    full = full_model.evaluate(placement)
+    fast = inc_model.evaluate(placement)
+    assert fast.metadata["method"] == "fast_lti_incremental"
+    assert fast.max_temperature == pytest.approx(
+        full.max_temperature, abs=TOLERANCE_C
+    )
+    for name, temp in full.chiplet_temperatures.items():
+        assert fast.chiplet_temperatures[name] == pytest.approx(
+            temp, abs=TOLERANCE_C
+        )
+
+
+def _random_move_sequence(system, full_model, inc_model, calc, seed, n_moves):
+    """Anneal-style proposals; every evaluated candidate is cross-checked."""
+    placer = TAP25DPlacer(system, calc, TAP25DConfig())
+    rng = np.random.default_rng(seed)
+    current = placer.initial_placement()
+    _assert_matches(full_model, inc_model, current)
+    checked = 1
+    while checked < n_moves:
+        candidate = placer.propose(current, rng, checked / n_moves)
+        if candidate is None:
+            continue
+        _assert_matches(full_model, inc_model, candidate)
+        checked += 1
+        if rng.random() < 0.6:  # mimic Metropolis acceptance
+            current = candidate
+    return checked
+
+
+class TestIncrementalExactness:
+    def test_small_system_move_sequence(
+        self, small_system, small_tables, small_config
+    ):
+        full_model, inc_model = _paired_models(small_tables, small_config)
+        calc = RewardCalculator(
+            full_model, RewardConfig(lambda_wl=1e-4, use_bump_assignment=False)
+        )
+        checked = _random_move_sequence(
+            small_system, full_model, inc_model, calc, seed=0, n_moves=50
+        )
+        assert checked == 50
+
+    @pytest.mark.parametrize("system_seed", [2, 5])
+    def test_synthetic_systems_move_sequences(self, system_seed, tmp_path):
+        """Bundled synthetic-benchmark shape: more dies, mixed powers."""
+        system = synthetic_system(seed=system_seed)
+        config = ThermalConfig(rows=24, cols=24, package_margin=8.0)
+        sizes = []
+        for chiplet in system.chiplets:
+            sizes.append((chiplet.width, chiplet.height))
+            if chiplet.rotatable:
+                sizes.append((chiplet.height, chiplet.width))
+        tables = characterize_tables(
+            system.interposer, sizes, config, position_samples=(3, 3)
+        )
+        full_model, inc_model = _paired_models(tables, config)
+        calc = RewardCalculator(
+            full_model, RewardConfig(use_bump_assignment=False)
+        )
+        checked = _random_move_sequence(
+            system, full_model, inc_model, calc, seed=system_seed, n_moves=30
+        )
+        assert checked == 30
+
+    def test_running_sum_refresh_path(
+        self, small_system, small_tables, small_config, monkeypatch
+    ):
+        """Drift control: exercise the periodic full refresh explicitly."""
+        monkeypatch.setattr(incremental, "REFRESH_INTERVAL", 7)
+        full_model, inc_model = _paired_models(small_tables, small_config)
+        calc = RewardCalculator(
+            full_model, RewardConfig(lambda_wl=1e-4, use_bump_assignment=False)
+        )
+        checked = _random_move_sequence(
+            small_system, full_model, inc_model, calc, seed=3, n_moves=40
+        )
+        assert checked == 40
+
+    def test_rebuild_on_die_set_change(
+        self, small_system, small_tables, small_config
+    ):
+        full_model, inc_model = _paired_models(small_tables, small_config)
+        rng = np.random.default_rng(1)
+        complete = random_legal_placement(small_system, rng)
+        _assert_matches(full_model, inc_model, complete)
+        partial = Placement(small_system)
+        partial.place("hot", 4.0, 4.0)
+        partial.place("warm", 20.0, 20.0)
+        _assert_matches(full_model, inc_model, partial)
+        _assert_matches(full_model, inc_model, complete)
+
+    def test_many_dies_moved_triggers_rebuild(
+        self, small_system, small_tables, small_config
+    ):
+        """Moving every die at once takes the rebuild path, not deltas."""
+        full_model, inc_model = _paired_models(small_tables, small_config)
+        rng = np.random.default_rng(4)
+        first = random_legal_placement(small_system, rng)
+        second = random_legal_placement(small_system, rng)
+        _assert_matches(full_model, inc_model, first)
+        _assert_matches(full_model, inc_model, second)
+
+    def test_repeated_evaluation_is_stable(
+        self, small_system, small_tables, small_config
+    ):
+        full_model, inc_model = _paired_models(small_tables, small_config)
+        rng = np.random.default_rng(5)
+        placement = random_legal_placement(small_system, rng)
+        first = inc_model.evaluate(placement)
+        second = inc_model.evaluate(placement)
+        assert first.max_temperature == second.max_temperature
+
+    def test_empty_placement(self, small_tables, small_config, small_system):
+        _, inc_model = _paired_models(small_tables, small_config)
+        result = inc_model.evaluate(Placement(small_system))
+        assert result.chiplet_temperatures == {}
+
+    def test_flag_off_by_default(self, small_tables, small_config):
+        model = FastThermalModel(small_tables, small_config)
+        assert model.incremental is False
+
+    def test_system_change_invalidates_cache(
+        self, small_system, small_tables, small_config
+    ):
+        """Same die names + same coordinates on a different system must
+        not reuse the cached powers/sizes of the first system."""
+        from repro.chiplet import Chiplet, ChipletSystem
+
+        twin = ChipletSystem(
+            "twin",
+            small_system.interposer,
+            tuple(
+                Chiplet(c.name, c.width, c.height, c.power * 2.0, kind=c.kind)
+                for c in small_system.chiplets
+            ),
+        )
+        full_model, inc_model = _paired_models(small_tables, small_config)
+        rng = np.random.default_rng(6)
+        placement = random_legal_placement(small_system, rng)
+        _assert_matches(full_model, inc_model, placement)
+        twin_placement = Placement(twin, dict(placement.positions))
+        _assert_matches(full_model, inc_model, twin_placement)
+        assert inc_model.evaluate(
+            twin_placement
+        ).max_temperature > inc_model.evaluate(placement).max_temperature
