@@ -4,27 +4,38 @@ Measures cost-evaluations/sec of complete :class:`TAP25DPlacer` runs on
 the default synthetic system (the same scenario ``bench_rollout.py``
 trains on) for ``n_chains`` in {1, 4, 16}: 1 is the original sequential
 Metropolis engine, wider counts advance that many chains in lockstep
-with one vectorized ``RewardCalculator.evaluate_many`` pass per step.
+with one batched ``RewardCalculator.evaluate_many`` pass per step.
 Arms alternate inside each measurement round so single-core frequency
 noise cannot bias one of them; the reported figure is the median across
 rounds.
+
+``--thermal`` selects the evaluator inside the annealer:
+
+* ``fast`` (default) — the paper's LTI surrogate; batching vectorizes
+  its table lookups across the chain population.
+* ``hotspot`` — the ground-truth :class:`GridThermalSolver` with
+  HotSpot-like per-evaluation cost (fresh factorization, no caching
+  across steps); batching solves every chain's candidate as one
+  multi-RHS block through a *single* factorization per step, which is
+  where the speedup comes from.
 
 The reward path uses the bundle wirelength estimator so the measurement
 isolates the annealing engine (proposals, legality checks, batched
 thermal/wirelength evaluation).
 
 A machine-readable summary is written to ``BENCH_baselines.json`` after
-every run (including smoke runs) so the performance trajectory is
-tracked from PR 2 onward.
+every run (including smoke runs), keyed by thermal mode, so the
+performance trajectory of both arms is tracked from PR 2 onward.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_baselines.py            # full
+    PYTHONPATH=src python benchmarks/bench_baselines.py            # full, fast model
+    PYTHONPATH=src python benchmarks/bench_baselines.py --thermal hotspot
     PYTHONPATH=src python benchmarks/bench_baselines.py --smoke    # CI, ~30 s
     PYTHONPATH=src python benchmarks/bench_baselines.py --strict   # exit 1 below target
 
 Target (tracked in the README): n_chains=16 achieves >= 3x the
-sequential engine's evaluations/sec.
+sequential engine's evaluations/sec, in both thermal modes.
 """
 
 from __future__ import annotations
@@ -39,15 +50,30 @@ from pathlib import Path
 from repro.baselines import TAP25DConfig, TAP25DPlacer
 from repro.reward import RewardCalculator, RewardConfig
 from repro.systems import synthetic_system
-from repro.thermal import FastThermalModel, ThermalConfig
+from repro.thermal import FastThermalModel, GridThermalSolver, ThermalConfig
 from repro.thermal.characterize import load_or_characterize
 
 DEFAULT_CACHE_DIR = ".cache/thermal_tables"
 
+# Grid resolution of the --thermal hotspot scenario.  Coarser than the
+# production default (64x64) so the sequential arm finishes benchmark
+# windows in reasonable time; the factorization/solve cost *ratio* the
+# speedup depends on only grows with resolution, so the measured
+# multiple is conservative.
+HOTSPOT_ROWS = 32
+HOTSPOT_COLS = 32
 
-def build_calculator(system_seed: int) -> tuple:
-    """The benchmark scenario: one synthetic system + fast thermal model."""
+
+def build_calculator(system_seed: int, thermal: str = "fast") -> tuple:
+    """The benchmark scenario: one synthetic system + chosen evaluator."""
     system = synthetic_system(seed=system_seed)
+    if thermal == "hotspot":
+        config = ThermalConfig(rows=HOTSPOT_ROWS, cols=HOTSPOT_COLS)
+        calc = RewardCalculator(
+            GridThermalSolver(system.interposer, config),
+            RewardConfig(use_bump_assignment=False),
+        )
+        return system, calc
     config = ThermalConfig()
     sizes = []
     for chiplet in system.chiplets:
@@ -88,8 +114,29 @@ def measure_window(system, calc, chains: int, iterations: int, seconds: float):
             return evaluations / elapsed
 
 
+def _merge_payload(out_path: Path, thermal: str, payload: dict) -> dict:
+    """Merge one thermal mode's results into the summary file.
+
+    The file keeps one entry per thermal mode under ``modes`` so a
+    hotspot run doesn't clobber the fast-model numbers (and vice
+    versa); unreadable or legacy single-mode files are replaced.
+    """
+    merged = {"benchmark": "bench_baselines", "modes": {}}
+    if out_path.exists():
+        try:
+            existing = json.loads(out_path.read_text())
+            if isinstance(existing, dict) and isinstance(
+                existing.get("modes"), dict
+            ):
+                merged["modes"] = existing["modes"]
+        except (json.JSONDecodeError, OSError):
+            pass
+    merged["modes"][thermal] = payload
+    return merged
+
+
 def run(args) -> int:
-    system, calc = build_calculator(args.system_seed)
+    system, calc = build_calculator(args.system_seed, args.thermal)
     widths = [int(w) for w in args.chains.split(",")]
     for width in widths:  # warm caches and code paths
         measure_window(system, calc, width, args.iterations, 0.05)
@@ -130,11 +177,11 @@ def run(args) -> int:
         )
 
     payload = {
-        "benchmark": "bench_baselines",
         "scenario": {
             "system": system.name,
             "n_chiplets": system.n_chiplets,
             "iterations_per_run": args.iterations,
+            "thermal": args.thermal,
         },
         "mode": "smoke" if args.smoke else "full",
         "rounds": args.rounds,
@@ -144,7 +191,8 @@ def run(args) -> int:
         "target": args.target,
     }
     out_path = Path(args.out)
-    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    merged = _merge_payload(out_path, args.thermal, payload)
+    out_path.write_text(json.dumps(merged, indent=2) + "\n")
     print(f"wrote {out_path}")
     return status
 
@@ -158,10 +206,18 @@ def main(argv=None) -> int:
         help="comma-separated chain counts; the first is the baseline",
     )
     parser.add_argument(
+        "--thermal",
+        choices=("fast", "hotspot"),
+        default="fast",
+        help="thermal evaluator inside the annealer (hotspot = the "
+        "ground-truth grid solver with multi-RHS batched solves)",
+    )
+    parser.add_argument(
         "--iterations",
         type=int,
-        default=150,
-        help="SA iterations per chain per run",
+        default=None,
+        help="SA iterations per chain per run "
+        "(default: 150 fast, 100 hotspot)",
     )
     parser.add_argument("--rounds", type=int, default=5, help="alternating measurement rounds")
     parser.add_argument(
@@ -191,9 +247,14 @@ def main(argv=None) -> int:
         help="single fast round, no target check (CI)",
     )
     args = parser.parse_args(argv)
+    if args.iterations is None:
+        args.iterations = 100 if args.thermal == "hotspot" else 150
     if args.smoke:
         args.rounds = 1
-        args.iterations = min(args.iterations, 60)
+        # The hotspot arm pays a sparse factorization per sequential
+        # evaluation; cap its smoke budget harder so CI stays fast.
+        cap = 30 if args.thermal == "hotspot" else 60
+        args.iterations = min(args.iterations, cap)
         args.window_seconds = min(args.window_seconds, 0.5)
     return run(args)
 

@@ -40,8 +40,9 @@ def main() -> None:
         "--sa-chains",
         type=int,
         default=16,
-        help="lockstep chains for the fast-thermal SA baseline "
-        "(1 = sequential)",
+        help="lockstep chains for both SA baselines (1 = sequential; "
+        "the HotSpot arm batches all chains through one factorization "
+        "per step)",
     )
     parser.add_argument(
         "--skip", nargs="*", default=[], choices=["table1", "table2", "table3"]

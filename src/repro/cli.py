@@ -58,8 +58,10 @@ def _add_budget_args(parser) -> None:
         "--sa-chains",
         type=int,
         default=16,
-        help="lockstep annealing chains for the fast-thermal SA baseline "
-        "(1 = sequential engine, >1 = batched best-of-N chains)",
+        help="lockstep annealing chains for both SA baselines "
+        "(1 = sequential engine, >1 = batched best-of-N chains; the "
+        "HotSpot arm solves all chains through one factorization per "
+        "step)",
     )
     parser.add_argument(
         "--paper-scale",

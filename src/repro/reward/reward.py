@@ -186,10 +186,19 @@ class RewardCalculator:
         evaluator's vectorized peak-temperature path
         (``max_temperatures``) when it offers one.  Rewards match
         :meth:`evaluate` to float rounding.
+
+        Thermal evaluators that declare ``exact_batched_rewards``
+        (:class:`~repro.thermal.GridThermalSolver` does) are routed
+        through :meth:`evaluate_many_exact` instead: their per-candidate
+        cost dwarfs the reward arithmetic, and the callers that batch
+        them (the multi-chain HotSpot SA arm) rely on rewards being
+        *bitwise* equal to scalar evaluation, not merely close.
         """
         placements = list(placements)
         if not placements:
             return np.empty(0)
+        if getattr(self.thermal, "exact_batched_rewards", False):
+            return self.evaluate_many_exact(placements)
         wirelengths = self.wirelength_many(placements)
         batch_temps = getattr(self.thermal, "max_temperatures", None)
         if batch_temps is not None:
@@ -201,6 +210,41 @@ class RewardCalculator:
         t_celsius = max_temps - KELVIN_OFFSET
         self.evaluation_count += len(placements)
         return self.config.combine_many(wirelengths, t_celsius)
+
+    def evaluate_many_exact(self, placements) -> np.ndarray:
+        """Batched rewards **bitwise identical** to scalar :meth:`evaluate`.
+
+        The exact-evaluator adapter behind the multi-chain HotSpot SA
+        arm: ``SimulatedAnnealing.run_chains`` reproduces M sequential
+        seeded runs only if every batched cost equals the scalar cost
+        bit for bit (Metropolis accept/reject comparisons amplify any
+        last-ulp difference into divergent trajectories).  The fully
+        vectorized path cannot promise that — the batched bundle
+        wirelength sums nets in a different order and the batched
+        penalty uses ``np.exp`` where the scalar uses ``math.exp`` — so
+        this adapter batches only the thermal analysis (the evaluator's
+        ``max_temperatures`` multi-RHS path, bitwise by construction)
+        and keeps wirelength and reward combination on the scalar
+        codepaths per placement.  For solver-backed rewards the thermal
+        solve is >99 % of the cost, so the amortization is preserved.
+        """
+        placements = list(placements)
+        if not placements:
+            return np.empty(0)
+        batch_temps = getattr(self.thermal, "max_temperatures", None)
+        if batch_temps is not None:
+            max_temps = np.asarray(batch_temps(placements), dtype=np.float64)
+        else:
+            max_temps = np.array(
+                [self.thermal.evaluate(p).max_temperature for p in placements]
+            )
+        rewards = np.empty(len(placements))
+        for i, placement in enumerate(placements):
+            rewards[i] = self.config.combine(
+                self.wirelength(placement), max_temps[i] - KELVIN_OFFSET
+            )
+        self.evaluation_count += len(placements)
+        return rewards
 
     def evaluate_batch(self, placements) -> list:
         """Evaluate a batch of completed placements in one pass.

@@ -10,7 +10,13 @@ Two evaluators with one interface:
   superposition surrogate built from self-/mutual-thermal-resistance
   tables characterized once against the grid solver.
 
-Both expose ``evaluate(placement) -> ThermalResult``.
+Both expose ``evaluate(placement) -> ThermalResult`` plus batched
+entries (``evaluate_many`` / ``max_temperatures``): the fast model
+vectorizes its table lookups across the batch, while the grid solver
+back-substitutes all right-hand sides through one shared sparse
+factorization (its homogeneous conductance matrix is
+placement-independent) — bitwise identical to sequential solves, which
+is what lets the HotSpot-backed SA arm run multi-chain.
 """
 
 from repro.thermal.materials import Material, MATERIALS

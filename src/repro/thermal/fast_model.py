@@ -52,6 +52,8 @@ __all__ = [
     "size_key",
     "PEAK_TEMP_MAX_ERROR_C",
     "PEAK_TEMP_MEAN_ERROR_C",
+    "CHIPLET_TEMP_MAX_ERROR_C",
+    "CHIPLET_TEMP_MEAN_ERROR_C",
 ]
 
 _SIZE_QUANTUM = 1e-3  # mm; sizes matching to 1 um share a table
@@ -64,6 +66,17 @@ _SIZE_QUANTUM = 1e-3  # mm; sizes matching to 1 um share a table
 # loudly instead of skewing Table I/III reproductions.
 PEAK_TEMP_MAX_ERROR_C = 2.0
 PEAK_TEMP_MEAN_ERROR_C = 0.7
+
+# Per-chiplet envelope, pinned by the differential harness
+# (tests/test_thermal_differential.py) across every bundled benchmark
+# system.  Individual die temperatures are allowed a wider band than the
+# package peak: the radial mutual model is coarsest for a low-power die
+# sitting in a hot neighbour's near field (the victim's own rise is
+# small, so the mutual approximation error dominates), while the peak
+# die — the only quantity the reward consumes — is self-term dominated
+# and stays inside the paper's envelope above.
+CHIPLET_TEMP_MAX_ERROR_C = 6.0
+CHIPLET_TEMP_MEAN_ERROR_C = 1.0
 
 
 def size_key(width: float, height: float) -> tuple:

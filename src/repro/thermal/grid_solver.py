@@ -55,7 +55,29 @@ class GridThermalSolver:
     -----
     The solver is placement-agnostic: construct once per package and call
     :meth:`evaluate` with any placement on that interposer.
+
+    Batched evaluation: :meth:`solve_footprints_many` /
+    :meth:`evaluate_many` / :meth:`max_temperatures` solve M
+    configurations through **one** factorization — because the
+    homogeneous matrix is placement-independent, only the right-hand
+    side varies between candidates, so the M assembled RHS columns are
+    back-substituted through a single shared LU.  Each column runs the
+    same single-vector kernel a sequential solve runs, so batched
+    results are bitwise identical to M sequential solves
+    (regression-tested); ``reuse_factorization=False`` still amortizes
+    the factorization *within* one batched call, which is what lets the
+    ``TAP-2.5D(HotSpot)`` arm join the multi-chain annealing engine.
+    All solve paths (fresh, cached, batched) share one ``splu``-based
+    codepath; ``solve_count`` counts solved columns and
+    ``factorization_count`` counts factorizations, so tests can assert
+    the sharing actually happens.
     """
+
+    # Ground-truth evaluations are expensive and the batched solve is
+    # bitwise-exact, so RewardCalculator.evaluate_many routes batches
+    # through its exact adapter (scalar wirelength/combine, batched
+    # thermal) — multi-chain SA then reproduces sequential runs bitwise.
+    exact_batched_rewards = True
 
     def __init__(
         self,
@@ -88,6 +110,7 @@ class GridThermalSolver:
         self.reuse_factorization = reuse_factorization
         self._factor = None
         self.solve_count = 0
+        self.factorization_count = 0
 
     # -- frame helpers ---------------------------------------------------
 
@@ -127,17 +150,73 @@ class GridThermalSolver:
             name: placement.system.chiplet(name).power for name in footprints
         }
         temps = self.solve_footprints(footprints, powers)
+        return self._extract_result(
+            footprints, temps, time.perf_counter() - start
+        )
+
+    def _extract_result(
+        self, footprints: dict, temps: np.ndarray, elapsed: float
+    ) -> ThermalResult:
+        """Per-die temperatures + package peak from one solved field.
+
+        Shared by :meth:`evaluate` and :meth:`evaluate_many` so the
+        batched path equals the scalar path by construction, not by
+        hand-kept synchronization.
+        """
         chip_layer = temps[self._chip_idx]
         chiplet_temps = {
             name: self._die_max_temperature(chip_layer, rect)
             for name, rect in footprints.items()
         }
-        max_temp = max(chiplet_temps.values()) if chiplet_temps else self.config.ambient
+        max_temp = (
+            max(chiplet_temps.values()) if chiplet_temps else self.config.ambient
+        )
         return ThermalResult(
             chiplet_temperatures=chiplet_temps,
             max_temperature=max_temp,
             grid_temperatures=temps,
-            elapsed=time.perf_counter() - start,
+            elapsed=elapsed,
+        )
+
+    def evaluate_many(self, placements) -> list:
+        """Batched :meth:`evaluate` sharing one factorization.
+
+        All placements' right-hand sides are back-substituted through a
+        single shared factorization (see :meth:`solve_footprints_many`
+        for why that is column-by-column, not a block solve); per-die
+        temperature extraction is the scalar helper applied per field,
+        so every result is bitwise identical to a sequential
+        :meth:`evaluate` of the same placement.  Per-result ``elapsed``
+        is the batch time divided evenly.
+        """
+        placements = list(placements)
+        if not placements:
+            return []
+        start = time.perf_counter()
+        footprints_list = [p.footprints() for p in placements]
+        powers_list = [
+            {name: p.system.chiplet(name).power for name in fps}
+            for p, fps in zip(placements, footprints_list)
+        ]
+        fields = self.solve_footprints_many(footprints_list, powers_list)
+        elapsed = (time.perf_counter() - start) / len(placements)
+        return [
+            self._extract_result(fps, temps, elapsed)
+            for fps, temps in zip(footprints_list, fields)
+        ]
+
+    def max_temperatures(self, placements) -> np.ndarray:
+        """Peak package temperature (K) per placement, via one block solve.
+
+        The batched-reward hook ``RewardCalculator.evaluate_many`` looks
+        for; temperatures are bitwise identical to per-placement
+        :meth:`evaluate` calls.
+        """
+        placements = list(placements)
+        if not placements:
+            return np.empty(0)
+        return np.array(
+            [result.max_temperature for result in self.evaluate_many(placements)]
         )
 
     def solve_footprints(self, footprints: dict, powers: dict) -> np.ndarray:
@@ -148,19 +227,92 @@ class GridThermalSolver:
         two-die configurations).
         """
         rhs = self._assemble_rhs(footprints, powers)
-        homogeneous = not self.config.heterogeneous_chiplet_layer
-        if homogeneous and self.reuse_factorization:
-            if self._factor is None:
-                matrix = self._assemble_matrix(self._chiplet_layer_conductivity({}))
-                self._factor = spla.factorized(matrix.tocsc())
-            solution = self._factor(rhs)
-        else:
-            k_chip = self._chiplet_layer_conductivity(footprints)
-            matrix = self._assemble_matrix(k_chip)
-            solution = spla.spsolve(matrix.tocsc(), rhs)
+        solution = self._factor_for(footprints).solve(rhs)
         self.solve_count += 1
         rows, cols = self.grid.shape
         return solution.reshape(self._n_layers, rows, cols)
+
+    def solve_footprints_many(
+        self, footprints_list, powers_list
+    ) -> np.ndarray:
+        """Temperature fields for M configurations, shape ``(M, L, R, C)``.
+
+        Homogeneous chiplet layer (default): the conductance matrix is
+        placement-independent, so all M right-hand sides are
+        back-substituted through a **single** factorization — bitwise
+        identical to M sequential :meth:`solve_footprints` calls
+        (each column runs the same single-vector SuperLU kernel;
+        regression-tested).  With ``reuse_factorization`` the cached
+        factorization is shared across calls as well; without it one
+        fresh factorization per call preserves the HotSpot-like "build
+        the model each time" cost at the granularity of the batch.
+
+        Heterogeneous mode: the matrix depends on die coverage, so each
+        configuration is assembled, factorized and solved on its own
+        (no amortization is possible).
+        """
+        footprints_list = list(footprints_list)
+        powers_list = list(powers_list)
+        if len(footprints_list) != len(powers_list):
+            raise ValueError("footprints_list and powers_list lengths differ")
+        rows, cols = self.grid.shape
+        if not footprints_list:
+            return np.empty((0, self._n_layers, rows, cols))
+        if self.config.heterogeneous_chiplet_layer:
+            return np.stack(
+                [
+                    self.solve_footprints(footprints, powers)
+                    for footprints, powers in zip(footprints_list, powers_list)
+                ]
+            )
+        columns = [
+            self._assemble_rhs(footprints, powers)
+            for footprints, powers in zip(footprints_list, powers_list)
+        ]
+        factor = self._factor_for({})
+        # Column-by-column back-substitution, NOT factor.solve(block):
+        # SuperLU switches to blocked (level-3 BLAS) triangular kernels
+        # for multi-column right-hand sides, and their accumulation
+        # order can differ from the single-vector kernel by an ulp
+        # (observed ~1e-13 on the multi_gpu system) — which would break
+        # the bitwise contract with sequential solves that the
+        # multi-chain SA equivalence rests on.  The factorization is
+        # the dominant cost, so the amortization is unaffected.
+        solution = np.stack([factor.solve(column) for column in columns])
+        self.solve_count += len(columns)
+        return solution.reshape(
+            len(footprints_list), self._n_layers, rows, cols
+        )
+
+    # ------------------------------------------------------------------
+    # factorization
+    # ------------------------------------------------------------------
+
+    def _factorize(self, footprints: dict):
+        """LU-factorize the conductance matrix for the given placement.
+
+        Every solve path — fresh per-call, cached homogeneous, and
+        multi-RHS block — funnels through this one ``splu`` call.
+        (``spsolve``, ``spla.factorized`` and ``splu`` all drive the
+        same SuperLU factorization, so unifying the legacy fresh/reuse
+        split on ``splu`` is bitwise-neutral; regression-tested against
+        both legacy behaviors and the pre-refactor golden SA run.)
+        """
+        matrix = self._assemble_matrix(
+            self._chiplet_layer_conductivity(footprints)
+        )
+        self.factorization_count += 1
+        return spla.splu(matrix.tocsc())
+
+    def _factor_for(self, footprints: dict):
+        """The factorization to solve with, honoring the caching policy."""
+        if self.config.heterogeneous_chiplet_layer:
+            return self._factorize(footprints)
+        if not self.reuse_factorization:
+            return self._factorize({})
+        if self._factor is None:
+            self._factor = self._factorize({})
+        return self._factor
 
     # ------------------------------------------------------------------
     # matrix assembly

@@ -1,11 +1,16 @@
 """Fixed scenario shared by the golden-baselines test and its generator.
 
 The golden regression (``tests/data/golden_baselines.json``) pins the
-single-chain search baselines — the generic SA engine, TAP-2.5D, the
-B*-tree annealer and random search — to the exact results the pre-PR-2
+single-chain search baselines — the generic SA engine, TAP-2.5D (on the
+fast thermal model *and* on the ground-truth grid solver), the B*-tree
+annealer and random search — to the exact results the pre-refactor
 (sequential, one-evaluation-per-proposal) engines produced.  The
 multi-chain/batched engines added in PR 2 must leave the ``n_chains=1``
-path bit-for-bit intact; this golden is what enforces that.
+path bit-for-bit intact; this golden is what enforces that.  The
+``tap25d_hotspot`` record was generated *before* the multi-RHS solver
+refactor (PR 3), so it additionally proves the unified ``splu``
+codepath reproduces the legacy ``spsolve`` solves bit-for-bit through a
+whole annealing run.
 
 Floats are stored via ``float.hex()`` so the comparison is bitwise, not
 approximate.  Both the checked-in generator
@@ -25,7 +30,12 @@ from repro.baselines import (
     random_search,
 )
 from repro.reward import RewardCalculator, RewardConfig
-from repro.thermal import FastThermalModel, ThermalConfig, characterize_tables
+from repro.thermal import (
+    FastThermalModel,
+    GridThermalSolver,
+    ThermalConfig,
+    characterize_tables,
+)
 
 from golden_utils import build_golden_system
 
@@ -52,6 +62,26 @@ def build_golden_calculator() -> RewardCalculator:
     return calc
 
 
+def build_golden_hotspot_calculator() -> RewardCalculator:
+    """Grid-solver reward calculator over the golden three-die system.
+
+    The HotSpot-arm twin of :func:`build_golden_calculator`: same system
+    and reward weights, but the thermal evaluator is the ground-truth
+    :class:`GridThermalSolver` with per-call factorization — exactly how
+    the experiment harness builds the ``TAP-2.5D(HotSpot)`` arm.  The
+    grid is kept coarse so the golden run stays cheap; the solver code
+    path is identical at any resolution.
+    """
+    system = build_golden_system()
+    config = ThermalConfig(rows=16, cols=16, package_margin=8.0)
+    calc = RewardCalculator(
+        GridThermalSolver(system.interposer, config),
+        RewardConfig(lambda_wl=1e-4, use_bump_assignment=False),
+    )
+    calc.system = system
+    return calc
+
+
 def _toy_propose(state, rng, progress):
     return state + rng.normal(0.0, 1.0 * (1.0 - 0.9 * progress))
 
@@ -72,6 +102,10 @@ def run_golden_baselines(calculator: RewardCalculator | None = None) -> dict:
 
     tap = TAP25DPlacer(
         system, calc, TAP25DConfig(n_iterations=150, seed=3)
+    ).run()
+    hotspot_calc = build_golden_hotspot_calculator()
+    tap_hotspot = TAP25DPlacer(
+        hotspot_calc.system, hotspot_calc, TAP25DConfig(n_iterations=40, seed=3)
     ).run()
     bstar = BStarFloorplanner(
         system, calc, BStarConfig(n_iterations=100, seed=3)
@@ -102,6 +136,7 @@ def run_golden_baselines(calculator: RewardCalculator | None = None) -> dict:
             "history_len": len(sa_result.history),
         },
         "tap25d": placer_record(tap),
+        "tap25d_hotspot": placer_record(tap_hotspot),
         "bstar": placer_record(bstar),
         "random_search": {
             "reward": float(rand.reward).hex(),

@@ -151,6 +151,46 @@ class TestIncrementalExactness:
         model = FastThermalModel(small_tables, small_config)
         assert model.incremental is False
 
+    def test_single_chain_sa_run_end_to_end(
+        self, small_system, small_tables, small_config
+    ):
+        """ROADMAP follow-up, end-to-end: incremental evaluation inside SA.
+
+        A complete single-chain TAP-2.5D run whose reward calculator
+        evaluates through the delta path must track the non-incremental
+        run — final reward, winning placement, and the entire history
+        trace — to 1e-9.  The unit-level exactness tests above evaluate
+        each candidate fresh; only a full annealing run exercises the
+        cache under the accept/reject revisiting pattern (rejected
+        candidates followed by proposals from the unchanged current
+        state), which is where a stale-cache bug would surface as a
+        silently diverging trajectory.
+        """
+        results = {}
+        for incremental in (False, True):
+            model = FastThermalModel(
+                small_tables, small_config, incremental=incremental
+            )
+            calc = RewardCalculator(
+                model,
+                RewardConfig(lambda_wl=1e-4, use_bump_assignment=False),
+            )
+            results[incremental] = TAP25DPlacer(
+                small_system, calc, TAP25DConfig(n_iterations=150, seed=11)
+            ).run()
+        full, inc = results[False], results[True]
+        assert inc.n_evaluations == full.n_evaluations
+        assert inc.reward == pytest.approx(full.reward, abs=TOLERANCE_C)
+        assert inc.placement.as_dict() == full.placement.as_dict()
+        assert len(inc.history) == len(full.history)
+        for column in ("best_cost", "current_cost", "temperature"):
+            np.testing.assert_allclose(
+                inc.history.column(column),
+                full.history.column(column),
+                rtol=0,
+                atol=TOLERANCE_C,
+            )
+
     def test_system_change_invalidates_cache(
         self, small_system, small_tables, small_config
     ):
