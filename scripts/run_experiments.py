@@ -2,10 +2,14 @@
 
 This is the script behind the numbers in EXPERIMENTS.md.  Budgets are
 chosen to finish in tens of minutes on one CPU; pass ``--paper-scale``
-for the full regime.
+for the full regime and ``--jobs N`` to fan the independent
+(benchmark x method) arms and Table II dataset shards over N worker
+processes (results are identical at any ``--jobs``; only the wall
+clock changes).
 
 Usage:
-    python scripts/run_experiments.py [--paper-scale] [--out bench_results]
+    python scripts/run_experiments.py [--paper-scale] [--jobs 4] \
+        [--out bench_results]
 """
 
 import argparse
@@ -15,13 +19,13 @@ from dataclasses import asdict
 from pathlib import Path
 
 from repro.experiments import run_table2
-from repro.experiments.report import format_comparison, format_table, save_results
-from repro.experiments.runner import ExperimentBudget, run_all_methods
-from repro.experiments.table3 import improvement_summary
-from repro.systems import get_benchmark
+from repro.experiments.report import save_results
+from repro.experiments.runner import ExperimentBudget
+from repro.experiments.table1 import TABLE1_SYSTEMS, run_table1
+from repro.experiments.table3 import improvement_summary, run_table3
 
 
-def main() -> None:
+def parse_args(argv=None):
     parser = argparse.ArgumentParser()
     parser.add_argument("--paper-scale", action="store_true")
     parser.add_argument("--out", type=str, default="bench_results")
@@ -45,30 +49,70 @@ def main() -> None:
         "per step)",
     )
     parser.add_argument(
+        "--positions",
+        type=int,
+        default=7,
+        help="characterization position samples per axis (NxN solves "
+        "per die size; smoke runs shrink this)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the experiment scheduler; 1 is the "
+        "bit-exact sequential path, N>1 fans independent arms / "
+        "dataset shards over a pool (identical results, less wall "
+        "clock on multi-core hosts)",
+    )
+    parser.add_argument(
+        "--t1-systems",
+        nargs="*",
+        default=list(TABLE1_SYSTEMS),
+        help="Table I benchmark subset (smoke runs shrink this)",
+    )
+    parser.add_argument(
+        "--t3-cases",
+        nargs="*",
+        type=int,
+        default=[1, 2, 3, 4, 5],
+        help="Table III synthetic-case subset",
+    )
+    parser.add_argument(
         "--skip", nargs="*", default=[], choices=["table1", "table2", "table3"]
     )
-    args = parser.parse_args()
+    return parser.parse_args(argv)
 
+
+def build_budget(args) -> ExperimentBudget:
+    if args.paper_scale:
+        return ExperimentBudget.paper_scale()
+    return ExperimentBudget(
+        rl_epochs=args.epochs,
+        episodes_per_epoch=args.episodes,
+        grid_size=args.grid,
+        sa_iterations_hotspot=args.sa_iters,
+        rollout_batch_size=args.batch_size,
+        sa_chains=args.sa_chains,
+        position_samples=(args.positions, args.positions),
+    )
+
+
+def main(argv=None) -> None:
+    args = parse_args(argv)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
-    budget = (
-        ExperimentBudget.paper_scale()
-        if args.paper_scale
-        else ExperimentBudget(
-            rl_epochs=args.epochs,
-            episodes_per_epoch=args.episodes,
-            grid_size=args.grid,
-            sa_iterations_hotspot=args.sa_iters,
-            rollout_batch_size=args.batch_size,
-            sa_chains=args.sa_chains,
-        )
-    )
+    budget = build_budget(args)
     print(f"budget: {budget}")
+    print(f"jobs: {args.jobs}")
     started = time.time()
 
     if "table2" not in args.skip:
         print("\n=== Table II ===")
-        t2 = run_table2(n_systems=args.t2_systems)
+        t2 = run_table2(
+            n_systems=args.t2_systems,
+            position_samples=budget.position_samples,
+            jobs=args.jobs,
+        )
         print(t2.format())
         (out / "table2.json").write_text(
             json.dumps(
@@ -79,6 +123,7 @@ def main() -> None:
                     "fast_ms": t2.fast_time_per_eval * 1e3,
                     "characterization_s": t2.characterization_time,
                     "n_systems": t2.n_systems,
+                    "jobs": args.jobs,
                 },
                 indent=2,
             )
@@ -87,12 +132,13 @@ def main() -> None:
     all_results = []
     if "table1" not in args.skip:
         print("\n=== Table I ===")
-        for name in ("multi_gpu", "cpu_dram", "ascend910"):
-            spec = get_benchmark(name)
-            results = run_all_methods(spec, budget)
-            all_results.extend(results)
-            print(format_table(results))
-            print(format_comparison(results, spec.paper_reference, name))
+        all_results = run_table1(
+            budget, systems=tuple(args.t1_systems), jobs=args.jobs
+        )
+        by_system = {}
+        for res in all_results:
+            by_system.setdefault(res.system, []).append(res)
+        for name, results in by_system.items():
             save_results(
                 results, out / f"table1_{name}.json", {"budget": asdict(budget)}
             )
@@ -100,12 +146,9 @@ def main() -> None:
     table3_results = []
     if "table3" not in args.skip:
         print("\n=== Table III ===")
-        for case in (1, 2, 3, 4, 5):
-            spec = get_benchmark(f"synthetic{case}")
-            results = run_all_methods(spec, budget)
-            table3_results.extend(results)
-            print(format_table(results))
-            print(format_comparison(results, spec.paper_reference, spec.name))
+        table3_results = run_table3(
+            budget, cases=tuple(args.t3_cases), jobs=args.jobs
+        )
         save_results(
             table3_results, out / "table3.json", {"budget": asdict(budget)}
         )

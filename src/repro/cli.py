@@ -38,6 +38,8 @@ def _budget_from_args(args) -> ExperimentBudget:
         seed=args.seed,
         rollout_batch_size=args.batch_size,
         sa_chains=args.sa_chains,
+        sa_incremental=args.sa_incremental,
+        hotspot_reuse_factorization=args.hotspot_reuse_lu,
     )
 
 
@@ -64,11 +66,38 @@ def _add_budget_args(parser) -> None:
         "step)",
     )
     parser.add_argument(
+        "--sa-incremental",
+        action="store_true",
+        help="single-chain fast-thermal SA evaluates through the "
+        "incremental O(moved x n) delta path (needs --sa-chains 1)",
+    )
+    parser.add_argument(
+        "--hotspot-reuse-lu",
+        dest="hotspot_reuse_lu",
+        action="store_true",
+        help="experiment mode: keep the HotSpot arm's splu factorization "
+        "alive across SA steps (drops the per-step 'run the HotSpot "
+        "binary' cost parity)",
+    )
+    parser.add_argument(
         "--paper-scale",
         action="store_true",
         help="use the paper's full budgets (hours of CPU time)",
     )
     parser.add_argument("--output", type=str, default=None, help="JSON output path")
+
+
+def _add_jobs_arg(parser) -> None:
+    # Only on the subcommands that actually fan work over a pool
+    # (table1/table3 arms, table2 shards) — single-arm commands would
+    # silently ignore it.
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the experiment scheduler (1 = the "
+        "bit-exact sequential path; N fans independent arms over a pool)",
+    )
 
 
 def main(argv=None) -> int:
@@ -81,10 +110,13 @@ def main(argv=None) -> int:
     for table in ("table1", "table3", "ablations"):
         p = sub.add_parser(table, help=f"regenerate {table}")
         _add_budget_args(p)
+        if table != "ablations":
+            _add_jobs_arg(p)
 
     p2 = sub.add_parser("table2", help="fast thermal model accuracy/speed")
     p2.add_argument("--systems", type=int, default=300)
     p2.add_argument("--seed", type=int, default=7)
+    _add_jobs_arg(p2)
     p2.add_argument("--output", type=str, default=None)
 
     pt = sub.add_parser("train", help="train RLPlanner on one benchmark")
@@ -105,13 +137,15 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "table1":
-        results = run_table1(_budget_from_args(args))
+        results = run_table1(_budget_from_args(args), jobs=args.jobs)
     elif args.command == "table3":
-        results = run_table3(_budget_from_args(args))
+        results = run_table3(_budget_from_args(args), jobs=args.jobs)
     elif args.command == "ablations":
         results = run_ablations(_budget_from_args(args))
     elif args.command == "table2":
-        table2 = run_table2(n_systems=args.systems, seed=args.seed)
+        table2 = run_table2(
+            n_systems=args.systems, seed=args.seed, jobs=args.jobs
+        )
         print(table2.format())
         if args.output:
             import json

@@ -4,7 +4,9 @@ from repro.experiments.report import MethodResult, format_table, save_results
 from repro.experiments.runner import (
     ExperimentBudget,
     build_evaluators,
+    method_arm_jobs,
     run_all_methods,
+    run_method_arm,
 )
 from repro.experiments.table1 import run_table1
 from repro.experiments.table2 import run_table2
@@ -17,7 +19,9 @@ __all__ = [
     "save_results",
     "ExperimentBudget",
     "build_evaluators",
+    "method_arm_jobs",
     "run_all_methods",
+    "run_method_arm",
     "run_table1",
     "run_table2",
     "run_table3",

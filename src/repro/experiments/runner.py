@@ -10,11 +10,28 @@ Four methods, as in the paper:
 
 Budgets are scaled-down by default so the whole suite runs in minutes;
 ``ExperimentBudget.paper_scale()`` restores the paper's 600-epoch regime.
+
+Every (benchmark x method) arm is a standalone, picklable job
+(:func:`run_method_arm`) scheduled through :mod:`repro.parallel`:
+``jobs=1`` executes them in process and in submission order — bit-for-
+bit the pre-scheduler sequential harness, pinned by
+``tests/data/golden_experiments.json`` — while ``jobs=N`` fans
+independent arms over a process pool.  Two structural edges make that
+safe:
+
+* a per-benchmark *prewarm* job characterizes (or loads) the thermal
+  tables before any arm starts, so pool workers share one on-disk
+  cache entry instead of racing to recompute it (the cache itself is
+  file-locked and atomically written as a second line of defense);
+* the wall-clock-matched ``TAP-2.5D*(FastThermal)`` arm declares a
+  dependency on its benchmark's RL arm and receives the *measured* RL
+  runtime through the scheduler's parent-side injection hook, exactly
+  as the sequential path threads it.
 """
 
 from __future__ import annotations
 
-import time
+import functools
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -22,6 +39,7 @@ from repro.agent import RLPlannerTrainer, TrainerConfig
 from repro.baselines import TAP25DConfig, TAP25DPlacer
 from repro.env import EnvConfig, FloorplanEnv
 from repro.experiments.report import MethodResult
+from repro.parallel import JobSpec, run_jobs
 from repro.reward import RewardCalculator
 from repro.rl import PPOConfig, RNDConfig
 from repro.systems import BenchmarkSpec
@@ -29,11 +47,25 @@ from repro.thermal import FastThermalModel, GridThermalSolver
 from repro.thermal.characterize import load_or_characterize
 from repro.utils import get_logger
 
-__all__ = ["ExperimentBudget", "build_evaluators", "run_all_methods"]
+__all__ = [
+    "ExperimentBudget",
+    "build_evaluators",
+    "method_arm_jobs",
+    "prewarm_thermal_tables",
+    "run_all_methods",
+    "run_method_arm",
+]
 
 _logger = get_logger("experiments.runner")
 
 DEFAULT_CACHE_DIR = Path(".cache/thermal_tables")
+
+METHOD_ORDER = (
+    "RLPlanner",
+    "RLPlanner(RND)",
+    "TAP-2.5D(HotSpot)",
+    "TAP-2.5D*(FastThermal)",
+)
 
 
 @dataclass(frozen=True)
@@ -67,6 +99,17 @@ class ExperimentBudget:
     # cost.  Both arms spread their total proposal budget over the
     # chains, keeping evaluation counts comparable across chain counts.
     sa_chains: int = 16
+    # Single-chain fast-thermal SA may use the incremental O(moved x n)
+    # delta evaluator (FastThermalModel(..., incremental=True)).  Only
+    # effective when sa_chains == 1 — the delta path exploits the
+    # move locality of one scalar evaluate() chain.
+    sa_incremental: bool = False
+    # Keep the grid solver's splu factorization alive across SA steps
+    # in the HotSpot arm (the homogeneous conductance matrix is
+    # placement-independent).  Off by default: the paper's comparison
+    # charges the HotSpot arm a fresh "run the HotSpot binary" cost per
+    # lockstep step, which this experiment mode would remove.
+    hotspot_reuse_factorization: bool = False
 
     @classmethod
     def paper_scale(cls) -> "ExperimentBudget":
@@ -79,17 +122,43 @@ class ExperimentBudget:
         )
 
 
-def build_evaluators(spec: BenchmarkSpec, budget: ExperimentBudget, cache_dir=None):
-    """Characterize tables and build both thermal evaluators + rewards."""
-    cache_dir = DEFAULT_CACHE_DIR if cache_dir is None else Path(cache_dir)
+def _spec_sizes(spec: BenchmarkSpec) -> list:
+    """Die sizes (including rotations) needing characterization."""
     sizes = []
     for chiplet in spec.system.chiplets:
         sizes.append((chiplet.width, chiplet.height))
         if chiplet.rotatable:
             sizes.append((chiplet.height, chiplet.width))
+    return sizes
+
+
+def prewarm_thermal_tables(
+    spec: BenchmarkSpec, budget: ExperimentBudget, cache_dir=None
+) -> str:
+    """Job function: characterize (or load) one benchmark's tables.
+
+    Runs before any of the benchmark's method arms so pool workers find
+    the tables on disk instead of recomputing them per arm; returns the
+    cache fingerprint.  Prewarm jobs for different benchmarks are
+    independent, so a pool parallelizes characterization itself.
+    """
+    cache_dir = DEFAULT_CACHE_DIR if cache_dir is None else Path(cache_dir)
     tables = load_or_characterize(
         spec.system.interposer,
-        sizes,
+        _spec_sizes(spec),
+        spec.thermal_config,
+        position_samples=budget.position_samples,
+        cache_dir=cache_dir,
+    )
+    return tables.fingerprint
+
+
+def build_evaluators(spec: BenchmarkSpec, budget: ExperimentBudget, cache_dir=None):
+    """Characterize tables and build both thermal evaluators + rewards."""
+    cache_dir = DEFAULT_CACHE_DIR if cache_dir is None else Path(cache_dir)
+    tables = load_or_characterize(
+        spec.system.interposer,
+        _spec_sizes(spec),
         spec.thermal_config,
         position_samples=budget.position_samples,
         cache_dir=cache_dir,
@@ -98,7 +167,13 @@ def build_evaluators(spec: BenchmarkSpec, budget: ExperimentBudget, cache_dir=No
     # Fresh factorization per call = HotSpot-like per-evaluation cost.
     # Multi-chain SA still amortizes: solve_footprints_many factorizes
     # once per batched call (one lockstep step), not once per candidate.
-    solver = GridThermalSolver(spec.system.interposer, spec.thermal_config)
+    # ``hotspot_reuse_factorization`` additionally keeps the LU alive
+    # across steps (experiment mode; not HotSpot-cost-faithful).
+    solver = GridThermalSolver(
+        spec.system.interposer,
+        spec.thermal_config,
+        reuse_factorization=budget.hotspot_reuse_factorization,
+    )
     reward_fast = RewardCalculator(fast_model, spec.reward_config)
     reward_solver = RewardCalculator(solver, spec.reward_config)
     return {
@@ -179,11 +254,24 @@ def _run_sa(
         # one vectorized reward pass per step.
         n_chains = max(budget.sa_chains, 1)
         n_iterations = max(100 * budget.sa_iterations_hotspot // n_chains, 1)
+    incremental = False
+    if variant == "TAP-2.5D*(FastThermal)" and budget.sa_incremental:
+        if n_chains == 1:
+            incremental = True
+        else:
+            _logger.warning(
+                "%s: sa_incremental requested but sa_chains=%d; the "
+                "incremental delta evaluator only serves single-chain "
+                "SA — running the batched full evaluation instead",
+                spec.name,
+                n_chains,
+            )
     config = TAP25DConfig(
         n_iterations=n_iterations,
         time_limit=time_limit,
         seed=budget.seed,
         n_chains=n_chains,
+        incremental=incremental,
     )
     placer = TAP25DPlacer(spec.system, reward_calculator, config)
     result = placer.run()
@@ -198,55 +286,149 @@ def _run_sa(
     )
 
 
+def run_method_arm(
+    spec: BenchmarkSpec,
+    method: str,
+    budget: ExperimentBudget,
+    cache_dir=None,
+    time_limit=None,
+    time_matched=None,
+) -> MethodResult:
+    """One standalone (benchmark x method) arm — the scheduler's job unit.
+
+    Self-contained and deterministic given its arguments (the RNGs seed
+    from ``budget.seed``; the thermal tables round-trip bit-exactly
+    through the shared disk cache), so the scheduler may run it in any
+    worker at any time.  ``time_limit`` carries the measured RL runtime
+    into the wall-clock-matched fast-SA arm; ``time_matched`` is
+    recorded into the result's ``extra`` for audit.
+    """
+    _logger.info("%s: %s", spec.name, method)
+    evaluators = build_evaluators(spec, budget, cache_dir)
+    if method == "RLPlanner":
+        return _run_rl(spec, evaluators["reward_fast"], budget, use_rnd=False)
+    if method == "RLPlanner(RND)":
+        return _run_rl(spec, evaluators["reward_fast"], budget, use_rnd=True)
+    if method == "TAP-2.5D(HotSpot)":
+        return _run_sa(
+            spec, evaluators["reward_solver"], budget, "TAP-2.5D(HotSpot)"
+        )
+    if method == "TAP-2.5D*(FastThermal)":
+        result = _run_sa(
+            spec,
+            evaluators["reward_fast"],
+            budget,
+            "TAP-2.5D*(FastThermal)",
+            time_limit=time_limit,
+        )
+        if time_matched is not None:
+            result.extra["time_matched"] = bool(time_matched)
+            result.extra["time_limit_s"] = time_limit
+        return result
+    raise ValueError(f"unknown method {method!r}")
+
+
+def _inject_rl_runtime(dep_id: str, kwargs: dict, done: dict) -> dict:
+    """Parent-side hook: feed the measured RL runtime to the fast-SA arm."""
+    kwargs["time_limit"] = done[dep_id].runtime_s
+    return kwargs
+
+
+def arm_job_id(spec_name: str, method: str) -> str:
+    return f"{spec_name}/{method}"
+
+
+def method_arm_jobs(
+    spec: BenchmarkSpec,
+    budget: ExperimentBudget,
+    cache_dir=None,
+    methods: tuple = METHOD_ORDER,
+) -> list:
+    """Job specs for one benchmark: prewarm + one job per method arm.
+
+    Encodes the harness's two structural dependencies: every arm needs
+    the benchmark's thermal tables (prewarm job), and the wall-clock-
+    matched ``TAP-2.5D*(FastThermal)`` arm needs the measured runtime of
+    the RL arm (``RLPlanner``, falling back to ``RLPlanner(RND)``) when
+    ``budget.sa_time_matched`` is on.  If time matching is requested but
+    no RL arm is scheduled, the arm runs without a time limit — loudly,
+    and flagged ``time_matched: False`` in its result ``extra``.
+    """
+    ordered = [m for m in METHOD_ORDER if m in methods]
+    unknown = set(methods) - set(METHOD_ORDER)
+    if unknown:
+        raise ValueError(f"unknown methods {sorted(unknown)!r}")
+    prewarm_id = f"{spec.name}/prewarm"
+    jobs = [
+        JobSpec(
+            job_id=prewarm_id,
+            fn=prewarm_thermal_tables,
+            kwargs=dict(spec=spec, budget=budget, cache_dir=cache_dir),
+        )
+    ]
+    rl_dep = next((m for m in METHOD_ORDER[:2] if m in ordered), None)
+    for method in ordered:
+        kwargs = dict(
+            spec=spec, method=method, budget=budget, cache_dir=cache_dir
+        )
+        needs = (prewarm_id,)
+        inject = None
+        if method == "TAP-2.5D*(FastThermal)" and budget.sa_time_matched:
+            # time_matched lands in the result's extra only when
+            # matching was *requested*: True when the RL dependency
+            # feeds a limit, False for the pathological methods-subset
+            # case.  With sa_time_matched off nothing is recorded —
+            # deliberately unmatched runs are not audit findings.
+            if rl_dep is not None:
+                dep_id = arm_job_id(spec.name, rl_dep)
+                needs = (prewarm_id, dep_id)
+                inject = functools.partial(_inject_rl_runtime, dep_id)
+                kwargs["time_matched"] = True
+            else:
+                _logger.warning(
+                    "%s: TAP-2.5D*(FastThermal) is wall-clock-matched "
+                    "to RL training, but no RLPlanner arm is scheduled "
+                    "(methods=%r) — running WITHOUT a time limit and "
+                    "recording time_matched=False",
+                    spec.name,
+                    tuple(methods),
+                )
+                kwargs["time_matched"] = False
+        jobs.append(
+            JobSpec(
+                job_id=arm_job_id(spec.name, method),
+                fn=run_method_arm,
+                kwargs=kwargs,
+                needs=needs,
+                inject=inject,
+            )
+        )
+    return jobs
+
+
+def collect_arm_results(outcome: dict, spec_name: str, methods: tuple) -> list:
+    """Pick one benchmark's MethodResults out of a scheduler outcome."""
+    return [
+        outcome[arm_job_id(spec_name, method)]
+        for method in METHOD_ORDER
+        if method in methods
+    ]
+
+
 def run_all_methods(
     spec: BenchmarkSpec,
     budget: ExperimentBudget | None = None,
     cache_dir=None,
-    methods: tuple = (
-        "RLPlanner",
-        "RLPlanner(RND)",
-        "TAP-2.5D(HotSpot)",
-        "TAP-2.5D*(FastThermal)",
-    ),
+    methods: tuple = METHOD_ORDER,
+    jobs: int = 1,
 ) -> list:
-    """Run the requested methods on one benchmark; returns MethodResults."""
-    budget = budget or ExperimentBudget()
-    evaluators = build_evaluators(spec, budget, cache_dir)
-    results = []
-    rl_elapsed = None
+    """Run the requested methods on one benchmark; returns MethodResults.
 
-    if "RLPlanner" in methods:
-        _logger.info("%s: RLPlanner", spec.name)
-        res = _run_rl(spec, evaluators["reward_fast"], budget, use_rnd=False)
-        rl_elapsed = res.runtime_s
-        results.append(res)
-    if "RLPlanner(RND)" in methods:
-        _logger.info("%s: RLPlanner(RND)", spec.name)
-        res = _run_rl(spec, evaluators["reward_fast"], budget, use_rnd=True)
-        rl_elapsed = rl_elapsed or res.runtime_s
-        results.append(res)
-    if "TAP-2.5D(HotSpot)" in methods:
-        _logger.info("%s: TAP-2.5D(HotSpot)", spec.name)
-        results.append(
-            _run_sa(
-                spec,
-                evaluators["reward_solver"],
-                budget,
-                "TAP-2.5D(HotSpot)",
-            )
-        )
-    if "TAP-2.5D*(FastThermal)" in methods:
-        _logger.info("%s: TAP-2.5D*(FastThermal)", spec.name)
-        # The paper's asterisk: SA on the fast model gets a wall-clock
-        # budget similar to RL training.
-        time_limit = rl_elapsed if (budget.sa_time_matched and rl_elapsed) else None
-        results.append(
-            _run_sa(
-                spec,
-                evaluators["reward_fast"],
-                budget,
-                "TAP-2.5D*(FastThermal)",
-                time_limit=time_limit,
-            )
-        )
-    return results
+    ``jobs=1`` (default) preserves the sequential harness bit for bit;
+    ``jobs=N`` fans the independent arms over a process pool (the
+    time-matched arm still waits for the RL arm it is matched to).
+    """
+    budget = budget or ExperimentBudget()
+    job_specs = method_arm_jobs(spec, budget, cache_dir=cache_dir, methods=methods)
+    outcome = run_jobs(job_specs, jobs=jobs)
+    return collect_arm_results(outcome, spec.name, methods)

@@ -3,6 +3,16 @@
 The paper evaluates 2,000 synthetic systems; MSE/RMSE/MAE/MAPE of the
 maximum temperature plus per-inference wall clock.  The harness defaults
 to a subset for runtime and exposes ``n_systems`` for the full run.
+
+The dataset evaluation is embarrassingly parallel — every system is
+solved independently — so ``jobs=N`` shards the index range into
+contiguous chunks and fans them over a process pool.  Each chunk job
+replays the dataset generator from index 0 (generation is seeded from
+one RNG stream, so chunk ``[start, stop)`` must consume exactly the
+random draws the sequential run consumed before ``start``; generating
+a system + placement costs microseconds against the milliseconds of its
+ground-truth solve), which makes sharded predictions **bitwise
+identical** to the sequential run at any worker count.
 """
 
 from __future__ import annotations
@@ -12,6 +22,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.experiments.runner import DEFAULT_CACHE_DIR
+from repro.parallel import JobSpec, run_jobs
 from repro.systems.synthetic import (
     DATASET_INTERPOSER,
     DATASET_SIZES,
@@ -26,7 +37,7 @@ from repro.thermal import (
 from repro.thermal.characterize import load_or_characterize
 from repro.utils import get_logger
 
-__all__ = ["Table2Result", "run_table2"]
+__all__ = ["Table2Result", "run_table2", "run_table2_chunk"]
 
 _logger = get_logger("experiments.table2")
 
@@ -64,44 +75,137 @@ class Table2Result:
         )
 
 
-def run_table2(
-    n_systems: int = 300,
-    seed: int = 7,
-    thermal_config: ThermalConfig | None = None,
-    cache_dir=None,
-    position_samples: tuple = (7, 7),
-) -> Table2Result:
-    """Regenerate Table II on ``n_systems`` random systems."""
-    config = thermal_config or ThermalConfig(r_convection=0.12)
-    cache_dir = DEFAULT_CACHE_DIR if cache_dir is None else Path(cache_dir)
-
+def _dataset_tables(config, position_samples, cache_dir):
+    """The one characterization shared by every dataset system."""
     sizes = [(w, h) for w in DATASET_SIZES for h in DATASET_SIZES]
-    t0 = time.perf_counter()
-    tables = load_or_characterize(
+    return load_or_characterize(
         DATASET_INTERPOSER,
         sizes,
         config,
         position_samples=position_samples,
         cache_dir=cache_dir,
     )
-    characterization_time = time.perf_counter() - t0
-    fast_model = FastThermalModel(tables, config)
-    # Fresh factorization per evaluation mirrors a HotSpot run's cost.
-    solver = GridThermalSolver(DATASET_INTERPOSER, config)
 
+
+def run_table2_chunk(
+    start: int,
+    stop: int,
+    seed: int,
+    thermal_config: ThermalConfig,
+    position_samples: tuple,
+    cache_dir,
+) -> dict:
+    """Evaluate dataset indices ``[start, stop)`` — the shard job unit.
+
+    Loads the (prewarmed) shared tables from the disk cache, replays the
+    seeded dataset generator up to ``start`` to reproduce the sequential
+    RNG state exactly, and evaluates its slice with both the ground-
+    truth solver and the surrogate.
+    """
+    tables = _dataset_tables(thermal_config, position_samples, cache_dir)
+    fast_model = FastThermalModel(tables, thermal_config)
+    solver = GridThermalSolver(DATASET_INTERPOSER, thermal_config)
     predictions, references = [], []
     solver_time = fast_time = 0.0
     for index, (system, placement) in enumerate(
-        synthetic_thermal_dataset(n_systems, seed=seed)
+        synthetic_thermal_dataset(stop, seed=seed)
     ):
+        if index < start:
+            continue  # generated (RNG replay) but not evaluated
         ref = solver.evaluate(placement)
         fast = fast_model.evaluate(placement)
         solver_time += ref.elapsed
         fast_time += fast.elapsed
-        references.append(ref.max_temperature)
-        predictions.append(fast.max_temperature)
-        if (index + 1) % 100 == 0:
-            _logger.info("table2: %d/%d systems", index + 1, n_systems)
+        references.append(float(ref.max_temperature))
+        predictions.append(float(fast.max_temperature))
+    _logger.info("table2: chunk [%d, %d) done", start, stop)
+    return {
+        "predictions": predictions,
+        "references": references,
+        "solver_time": solver_time,
+        "fast_time": fast_time,
+    }
+
+
+def _chunk_ranges(n: int, chunks: int) -> list:
+    """Contiguous, near-equal [start, stop) ranges covering range(n)."""
+    chunks = max(min(chunks, n), 1)
+    base, remainder = divmod(n, chunks)
+    ranges, start = [], 0
+    for i in range(chunks):
+        stop = start + base + (1 if i < remainder else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def run_table2(
+    n_systems: int = 300,
+    seed: int = 7,
+    thermal_config: ThermalConfig | None = None,
+    cache_dir=None,
+    position_samples: tuple = (7, 7),
+    jobs: int = 1,
+) -> Table2Result:
+    """Regenerate Table II on ``n_systems`` random systems.
+
+    ``jobs=1`` is the original sequential loop, kept bit for bit;
+    ``jobs=N`` prewarms the shared characterization once, then shards
+    the dataset into N contiguous chunks evaluated in worker processes.
+    Predictions/references (and therefore every accuracy metric) are
+    bitwise identical either way; only the per-eval timings — wall
+    clock, never deterministic — vary.
+    """
+    config = thermal_config or ThermalConfig(r_convection=0.12)
+    cache_dir = DEFAULT_CACHE_DIR if cache_dir is None else Path(cache_dir)
+
+    t0 = time.perf_counter()
+    tables = _dataset_tables(config, position_samples, cache_dir)
+    characterization_time = time.perf_counter() - t0
+
+    if jobs <= 1:
+        fast_model = FastThermalModel(tables, config)
+        # Fresh factorization per evaluation mirrors a HotSpot run's cost.
+        solver = GridThermalSolver(DATASET_INTERPOSER, config)
+
+        predictions, references = [], []
+        solver_time = fast_time = 0.0
+        for index, (system, placement) in enumerate(
+            synthetic_thermal_dataset(n_systems, seed=seed)
+        ):
+            ref = solver.evaluate(placement)
+            fast = fast_model.evaluate(placement)
+            solver_time += ref.elapsed
+            fast_time += fast.elapsed
+            references.append(ref.max_temperature)
+            predictions.append(fast.max_temperature)
+            if (index + 1) % 100 == 0:
+                _logger.info("table2: %d/%d systems", index + 1, n_systems)
+    else:
+        specs = [
+            JobSpec(
+                job_id=f"table2/{start}-{stop}",
+                fn=run_table2_chunk,
+                kwargs=dict(
+                    start=start,
+                    stop=stop,
+                    seed=seed,
+                    thermal_config=config,
+                    position_samples=position_samples,
+                    cache_dir=cache_dir,
+                ),
+            )
+            for start, stop in _chunk_ranges(n_systems, jobs)
+        ]
+        outcome = run_jobs(specs, jobs=jobs)
+        predictions, references = [], []
+        solver_time = fast_time = 0.0
+        for spec in specs:  # submission order == index order
+            chunk = outcome[spec.job_id]
+            predictions.extend(chunk["predictions"])
+            references.extend(chunk["references"])
+            solver_time += chunk["solver_time"]
+            fast_time += chunk["fast_time"]
 
     metrics = error_metrics(predictions, references)
     return Table2Result(

@@ -10,7 +10,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.experiments.report import format_comparison, format_table
-from repro.experiments.runner import ExperimentBudget, run_all_methods
+from repro.experiments.runner import (
+    METHOD_ORDER,
+    ExperimentBudget,
+    collect_arm_results,
+    method_arm_jobs,
+)
+from repro.parallel import run_jobs
 from repro.systems import get_benchmark
 from repro.utils import get_logger
 
@@ -55,13 +61,24 @@ def run_table3(
     cases: tuple = (1, 2, 3, 4, 5),
     cache_dir=None,
     verbose: bool = True,
+    jobs: int = 1,
 ) -> list:
-    """Regenerate Table III; returns a flat list of MethodResults."""
+    """Regenerate Table III; returns a flat list of MethodResults.
+
+    Like :func:`~repro.experiments.table1.run_table1`, all (case x
+    method) arms go through one scheduler graph: ``jobs=1`` is the
+    bit-exact sequential order, ``jobs=N`` fans independent arms over a
+    worker pool.
+    """
     budget = budget or ExperimentBudget()
+    specs = [get_benchmark(f"synthetic{case}") for case in cases]
+    job_specs = []
+    for spec in specs:
+        job_specs.extend(method_arm_jobs(spec, budget, cache_dir=cache_dir))
+    outcome = run_jobs(job_specs, jobs=jobs)
     all_results = []
-    for case in cases:
-        spec = get_benchmark(f"synthetic{case}")
-        results = run_all_methods(spec, budget, cache_dir=cache_dir)
+    for spec in specs:
+        results = collect_arm_results(outcome, spec.name, METHOD_ORDER)
         all_results.extend(results)
         if verbose:
             print(format_comparison(results, spec.paper_reference, spec.name))

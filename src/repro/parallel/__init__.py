@@ -1,0 +1,22 @@
+"""Process-level experiment sharding.
+
+The experiment harness produces tens of independent, CPU-bound units of
+work — one (benchmark x method) arm per Table I/III cell, one dataset
+chunk per Table II shard — that PRs 1-3 made fast *inside* one process
+but still ran strictly sequentially on one core.  This package spreads
+them across a process pool:
+
+* :mod:`repro.parallel.scheduler` — picklable job specs, dependency
+  edges resolved in the parent (e.g. the wall-clock-matched SA arm
+  receiving the measured RL runtime), ordered result collection, and a
+  ``jobs=1`` in-process fallback that is bit-for-bit the sequential
+  path.
+* :mod:`repro.parallel.cache` — file locking and atomic-rename writes
+  so workers share one on-disk artifact cache (the thermal
+  characterization tables) instead of racing to recompute it.
+"""
+
+from repro.parallel.cache import FileLock, atomic_replace
+from repro.parallel.scheduler import JobSpec, run_jobs
+
+__all__ = ["FileLock", "JobSpec", "atomic_replace", "run_jobs"]

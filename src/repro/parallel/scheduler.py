@@ -1,0 +1,163 @@
+"""Dependency-aware job scheduler over a process pool.
+
+Design constraints, in order:
+
+1. **Bit-for-bit sequential fallback.**  ``run_jobs(specs, jobs=1)``
+   executes every job in submission order, in process, with no pool and
+   no pickling — exactly the code path the pre-scheduler harness ran.
+   The golden-experiments regression pins this.
+2. **Determinism at any worker count.**  Jobs must be pure functions of
+   their spec (every experiment job carries its own seed), so results
+   cannot depend on scheduling order; only wall clock does.  The result
+   mapping is returned in submission order regardless of completion
+   order.
+3. **Explicit dependencies.**  A job may name earlier jobs in
+   ``needs``; it is not dispatched until they finish.  Cross-job data
+   flows through ``inject``, which runs **in the parent** right before
+   dispatch and may rewrite the job's kwargs from the dependencies'
+   results (the wall-clock-matched SA arm receives the measured RL
+   runtime this way).  Requiring ``needs`` to point at earlier
+   submissions keeps the graph acyclic by construction and makes the
+   sequential fallback trivially dependency-correct.
+
+Job functions must be importable top-level callables and their kwargs
+picklable — the usual :mod:`multiprocessing` contract.  A failed job
+raises :class:`JobFailedError` in the parent (after cancelling what can
+still be cancelled) rather than silently dropping results.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro.utils import get_logger
+
+__all__ = ["JobFailedError", "JobSpec", "run_jobs"]
+
+_logger = get_logger("parallel.scheduler")
+
+
+class JobFailedError(RuntimeError):
+    """A job raised in a worker; carries the failing job id."""
+
+    def __init__(self, job_id: str, cause: BaseException):
+        super().__init__(f"job {job_id!r} failed: {cause!r}")
+        self.job_id = job_id
+        self.cause = cause
+
+
+@dataclass
+class JobSpec:
+    """One schedulable unit of work.
+
+    Attributes
+    ----------
+    job_id:
+        Unique name; dependency edges and the result mapping use it.
+    fn:
+        Importable top-level callable (workers re-import it by
+        qualified name when pickled).
+    kwargs:
+        Keyword arguments for ``fn``; must be picklable for ``jobs>1``.
+    needs:
+        Ids of jobs that must complete first.  They must refer to
+        *earlier* submissions (forward edges only), which keeps the
+        graph a DAG and the ``jobs=1`` fallback dependency-correct
+        without a topological sort.
+    inject:
+        Optional ``inject(kwargs, done) -> kwargs`` hook run in the
+        parent immediately before dispatch, where ``done`` maps
+        completed job ids to their results.  This is the only
+        cross-job data channel; use :func:`functools.partial` to bind
+        which dependency feeds which keyword.
+    """
+
+    job_id: str
+    fn: object
+    kwargs: dict = field(default_factory=dict)
+    needs: tuple = ()
+    inject: object = None
+
+    def resolved_kwargs(self, done: dict) -> dict:
+        kwargs = dict(self.kwargs)
+        if self.inject is not None:
+            kwargs = self.inject(kwargs, done)
+        return kwargs
+
+
+def _validate(specs: list) -> None:
+    seen = set()
+    for spec in specs:
+        if spec.job_id in seen:
+            raise ValueError(f"duplicate job id {spec.job_id!r}")
+        for dep in spec.needs:
+            if dep not in seen:
+                raise ValueError(
+                    f"job {spec.job_id!r} needs {dep!r}, which is not an "
+                    "earlier submission (forward dependency edges only)"
+                )
+        seen.add(spec.job_id)
+
+
+def run_jobs(specs, jobs: int = 1) -> dict:
+    """Execute ``specs``; return ``{job_id: result}`` in submission order.
+
+    ``jobs=1`` runs in process and in submission order — the bit-exact
+    sequential path.  ``jobs>1`` dispatches every dependency-free job to
+    a pool of that many worker processes and releases dependents as
+    their ``needs`` complete.
+    """
+    specs = list(specs)
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    _validate(specs)
+    if not specs:
+        return {}
+    if jobs == 1:
+        return _run_sequential(specs)
+    return _run_pooled(specs, jobs)
+
+
+def _run_sequential(specs: list) -> dict:
+    done: dict = {}
+    for spec in specs:
+        done[spec.job_id] = spec.fn(**spec.resolved_kwargs(done))
+    return done
+
+
+def _run_pooled(specs: list, jobs: int) -> dict:
+    done: dict = {}
+    waiting = list(specs)
+    futures = {}  # future -> job_id
+    with ProcessPoolExecutor(max_workers=jobs) as pool:
+        def dispatch_ready() -> None:
+            still_waiting = []
+            for spec in waiting:
+                if all(dep in done for dep in spec.needs):
+                    _logger.debug("dispatching %s", spec.job_id)
+                    future = pool.submit(spec.fn, **spec.resolved_kwargs(done))
+                    futures[future] = spec.job_id
+                else:
+                    still_waiting.append(spec)
+            waiting[:] = still_waiting
+
+        dispatch_ready()
+        while futures:
+            finished, _ = wait(futures, return_when=FIRST_COMPLETED)
+            for future in finished:
+                job_id = futures.pop(future)
+                error = future.exception()
+                if error is not None:
+                    for pending in futures:
+                        pending.cancel()
+                    raise JobFailedError(job_id, error)
+                done[job_id] = future.result()
+            dispatch_ready()
+    if waiting:  # unreachable given _validate, kept as a tripwire
+        raise RuntimeError(
+            f"{len(waiting)} jobs never became ready: "
+            f"{[spec.job_id for spec in waiting]}"
+        )
+    # Submission order, not completion order.
+    return {spec.job_id: done[spec.job_id] for spec in specs}

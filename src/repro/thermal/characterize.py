@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.chiplet import ChipletSystem, Interposer
 from repro.geometry import Rect
+from repro.parallel.cache import FileLock, atomic_replace
 from repro.thermal.config import ThermalConfig
 from repro.thermal.fast_model import ResistanceTables, SizeTables, size_key
 from repro.thermal.grid_solver import GridThermalSolver
@@ -139,27 +140,47 @@ def load_or_characterize(
     position_samples: tuple = (5, 5),
     cache_dir=None,
 ) -> ResistanceTables:
-    """Disk-cached :func:`characterize_tables`.
+    """Disk-cached :func:`characterize_tables`, safe under concurrency.
 
     The cache key is the fingerprint of all inputs, so changing the grid
     resolution or the stack invalidates stale tables automatically.
+
+    Any number of processes may request the same entry concurrently
+    (the parallel experiment scheduler fans arms of one benchmark over
+    a worker pool): a sidecar file lock elects exactly one writer, the
+    losers load the winner's tables, and the ``.npz`` is published via
+    atomic rename so a reader can never observe a torn file.  The
+    save/load round-trip is bit-exact (binary ``.npy`` array storage),
+    so cached and freshly characterized tables are interchangeable.
     """
     config = config or ThermalConfig()
     unique_sizes = _deduplicate_sizes(sizes)
     fingerprint = tables_fingerprint(
         interposer, unique_sizes, config, position_samples
     )
-    if cache_dir is not None:
-        cache_path = Path(cache_dir) / f"thermal_tables_{fingerprint}.npz"
+    if cache_dir is None:
+        return characterize_tables(
+            interposer, unique_sizes, config, position_samples
+        )
+    cache_path = Path(cache_dir) / f"thermal_tables_{fingerprint}.npz"
+    if cache_path.exists():
+        _logger.info("loading cached thermal tables %s", cache_path.name)
+        return ResistanceTables.load(cache_path)
+    with FileLock(cache_path.with_name(cache_path.name + ".lock")):
+        # Double-check inside the lock: another process may have
+        # characterized and published while we waited.
         if cache_path.exists():
-            _logger.info("loading cached thermal tables %s", cache_path.name)
+            _logger.info(
+                "loading cached thermal tables %s (characterized by a "
+                "concurrent process)",
+                cache_path.name,
+            )
             return ResistanceTables.load(cache_path)
-    tables = characterize_tables(
-        interposer, unique_sizes, config, position_samples
-    )
-    if cache_dir is not None:
-        Path(cache_dir).mkdir(parents=True, exist_ok=True)
-        tables.save(cache_path)
+        tables = characterize_tables(
+            interposer, unique_sizes, config, position_samples
+        )
+        with atomic_replace(cache_path, suffix=".npz") as tmp_path:
+            tables.save(tmp_path)
         _logger.info("cached thermal tables to %s", cache_path.name)
     return tables
 

@@ -40,7 +40,7 @@ class TestBudgetConstruction:
     def test_custom_budget_passed(self, monkeypatch, fake_results):
         captured = {}
 
-        def fake_run_table1(budget):
+        def fake_run_table1(budget, **kwargs):
             captured["budget"] = budget
             return fake_results
 
@@ -53,11 +53,14 @@ class TestBudgetConstruction:
         # Defaults since PR 2: batched collection and multi-chain SA.
         assert budget.rollout_batch_size == 16
         assert budget.sa_chains == 16
+        # PR 4 knobs default off.
+        assert budget.sa_incremental is False
+        assert budget.hotspot_reuse_factorization is False
 
     def test_batch_size_flag(self, monkeypatch, fake_results):
         captured = {}
 
-        def fake_run_table1(budget):
+        def fake_run_table1(budget, **kwargs):
             captured["budget"] = budget
             return fake_results
 
@@ -71,7 +74,7 @@ class TestBudgetConstruction:
     ):
         captured = {}
 
-        def fake_run_table1(budget):
+        def fake_run_table1(budget, **kwargs):
             captured["budget"] = budget
             return fake_results
 
@@ -80,10 +83,46 @@ class TestBudgetConstruction:
         assert captured["budget"].rollout_batch_size == 1
         assert captured["budget"].sa_chains == 1
 
+    def test_sa_incremental_and_reuse_lu_flags(
+        self, monkeypatch, fake_results
+    ):
+        captured = {}
+
+        def fake_run_table1(budget, **kwargs):
+            captured["budget"] = budget
+            return fake_results
+
+        monkeypatch.setattr(cli, "run_table1", fake_run_table1)
+        cli.main(
+            [
+                "table1",
+                "--sa-chains",
+                "1",
+                "--sa-incremental",
+                "--hotspot-reuse-lu",
+            ]
+        )
+        assert captured["budget"].sa_incremental is True
+        assert captured["budget"].hotspot_reuse_factorization is True
+
+    def test_jobs_flag_forwarded(self, monkeypatch, fake_results):
+        captured = {}
+
+        def fake_run_table1(budget, jobs=1, **kwargs):
+            captured["jobs"] = jobs
+            return fake_results
+
+        monkeypatch.setattr(cli, "run_table1", fake_run_table1)
+        cli.main(["table1", "--jobs", "4"])
+        assert captured["jobs"] == 4
+
     def test_paper_scale_flag(self, monkeypatch, fake_results):
         captured = {}
         monkeypatch.setattr(
-            cli, "run_table3", lambda budget: captured.setdefault("b", budget) or fake_results
+            cli,
+            "run_table3",
+            lambda budget, **kwargs: captured.setdefault("b", budget)
+            or fake_results,
         )
         cli.main(["table3", "--paper-scale"])
         assert captured["b"] == ExperimentBudget.paper_scale()
@@ -91,7 +130,9 @@ class TestBudgetConstruction:
 
 class TestCommands:
     def test_table1_with_output(self, monkeypatch, fake_results, tmp_path):
-        monkeypatch.setattr(cli, "run_table1", lambda budget: fake_results)
+        monkeypatch.setattr(
+            cli, "run_table1", lambda budget, **kwargs: fake_results
+        )
         out = tmp_path / "t1.json"
         assert cli.main(["table1", "--output", str(out)]) == 0
         payload = json.loads(out.read_text())
@@ -106,13 +147,23 @@ class TestCommands:
             def format(self):
                 return "FAKE TABLE2"
 
-        monkeypatch.setattr(
-            cli, "run_table2", lambda n_systems, seed: FakeResult()
-        )
+        captured = {}
+
+        def fake_run_table2(n_systems, seed, jobs=1):
+            captured["jobs"] = jobs
+            return FakeResult()
+
+        monkeypatch.setattr(cli, "run_table2", fake_run_table2)
         out = tmp_path / "t2.json"
-        assert cli.main(["table2", "--systems", "4", "--output", str(out)]) == 0
+        assert (
+            cli.main(
+                ["table2", "--systems", "4", "--jobs", "2", "--output", str(out)]
+            )
+            == 0
+        )
         assert "FAKE TABLE2" in capsys.readouterr().out
         assert json.loads(out.read_text())["speedup"] == 100.0
+        assert captured["jobs"] == 2
 
     def test_train_dispatch(self, monkeypatch, fake_results, capsys):
         captured = {}

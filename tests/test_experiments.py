@@ -1,10 +1,15 @@
 """Tests for the experiment harness (reporting, summary math, mini runs)."""
 
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
 
+from golden_experiments_utils import (
+    GOLDEN_EXPERIMENTS_PATH,
+    run_golden_experiments,
+)
 from repro.experiments import (
     ExperimentBudget,
     MethodResult,
@@ -91,6 +96,18 @@ class TestBudget:
 
     def test_default_is_scaled_down(self):
         assert ExperimentBudget().rl_epochs < 100
+
+
+class TestGoldenExperiments:
+    def test_jobs1_bitwise_faithful_to_sequential_harness(self, tmp_path):
+        """The scheduler's in-process ``jobs=1`` path must reproduce the
+        pre-scheduler sequential runner bit for bit — all four method
+        arms, float-hex comparison.  Regenerate via
+        ``scripts/gen_golden_experiments.py`` only for *intentional*
+        behavior changes."""
+        golden = json.loads(Path(GOLDEN_EXPERIMENTS_PATH).read_text())
+        record = run_golden_experiments(tmp_path)
+        assert record == golden
 
 
 class TestTable2Mini:

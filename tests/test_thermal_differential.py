@@ -344,3 +344,41 @@ class TestHotSpotArmMultiChain:
         # Without the multi-RHS path every solve would factorize; with
         # it, factorizations only happen once per lockstep step.
         assert solver.factorization_count < solver.solve_count / 2
+
+    def test_reuse_factorization_amortizes_across_sa_steps(
+        self, small_interposer, small_system
+    ):
+        """ROADMAP follow-up from PR 3: ``reuse_factorization=True`` keeps
+        ONE splu factorization alive across successive ``evaluate_many``
+        calls — across lockstep SA steps, not just within one — and the
+        whole annealing run is bitwise identical to the fresh-per-step
+        solver (deterministic assembly => identical LU)."""
+        config = ThermalConfig(rows=16, cols=16, package_margin=8.0)
+        results = {}
+        solvers = {}
+        for reuse in (False, True):
+            solver = GridThermalSolver(
+                small_interposer, config, reuse_factorization=reuse
+            )
+            solvers[reuse] = solver
+            calc = RewardCalculator(
+                solver,
+                RewardConfig(lambda_wl=1e-4, use_bump_assignment=False),
+            )
+            results[reuse] = TAP25DPlacer(
+                small_system,
+                calc,
+                TAP25DConfig(n_iterations=6, seed=2, n_chains=4),
+            ).run()
+        reused = solvers[True]
+        fresh = solvers[False]
+        assert reused.solve_count == fresh.solve_count
+        # Calibration + every SA step share the single factorization.
+        assert reused.factorization_count == 1
+        assert fresh.factorization_count > reused.solve_count / 8
+        # Same solves, same answers — bit for bit.
+        assert results[True].reward == results[False].reward
+        assert (
+            results[True].placement.as_dict()
+            == results[False].placement.as_dict()
+        )

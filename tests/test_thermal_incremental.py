@@ -191,6 +191,54 @@ class TestIncrementalExactness:
                 atol=TOLERANCE_C,
             )
 
+    def test_tap25d_incremental_flag_matches_full_run(
+        self, small_system, small_tables, small_config
+    ):
+        """`TAP25DConfig(incremental=True)` — the PR-4 wiring of the delta
+        path into single-chain SA — must reproduce the plain run to 1e-9
+        without mutating the caller's (full-evaluation) calculator."""
+        calc = RewardCalculator(
+            FastThermalModel(small_tables, small_config),
+            RewardConfig(lambda_wl=1e-4, use_bump_assignment=False),
+        )
+        base = TAP25DPlacer(
+            small_system, calc, TAP25DConfig(n_iterations=120, seed=9)
+        ).run()
+        inc = TAP25DPlacer(
+            small_system,
+            calc,
+            TAP25DConfig(n_iterations=120, seed=9, incremental=True),
+        ).run()
+        assert calc.thermal.incremental is False
+        assert inc.n_evaluations == base.n_evaluations
+        assert inc.reward == pytest.approx(base.reward, abs=TOLERANCE_C)
+        assert inc.placement.as_dict() == base.placement.as_dict()
+
+    def test_incremental_flag_ignored_without_fast_model(
+        self, small_system, small_interposer
+    ):
+        """Solver-backed calculators have no delta path; the flag must
+        degrade to the plain run instead of crashing."""
+        from repro.thermal import GridThermalSolver
+
+        config = ThermalConfig(rows=16, cols=16, package_margin=8.0)
+        calc = RewardCalculator(
+            GridThermalSolver(small_interposer, config),
+            RewardConfig(lambda_wl=1e-4, use_bump_assignment=False),
+        )
+        result = TAP25DPlacer(
+            small_system,
+            calc,
+            TAP25DConfig(n_iterations=5, seed=2, incremental=True),
+        ).run()
+        assert np.isfinite(result.reward)
+
+    def test_sa_config_rejects_incremental_multichain(self):
+        from repro.baselines import SAConfig
+
+        with pytest.raises(ValueError, match="incremental"):
+            SAConfig(incremental=True, n_chains=2)
+
     def test_system_change_invalidates_cache(
         self, small_system, small_tables, small_config
     ):
