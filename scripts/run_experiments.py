@@ -7,9 +7,15 @@ for the full regime and ``--jobs N`` to fan the independent
 processes (results are identical at any ``--jobs``; only the wall
 clock changes).
 
+Pass ``--resume`` to make the sweep durable: every (benchmark x
+method) arm and Table II shard publishes its result to the
+content-addressed run store, so a re-run after an interruption skips
+finished work and restarts in-flight arms from their latest checkpoint
+— with results bitwise identical to an uninterrupted run.
+
 Usage:
     python scripts/run_experiments.py [--paper-scale] [--jobs 4] \
-        [--out bench_results]
+        [--resume] [--out bench_results]
 """
 
 import argparse
@@ -23,6 +29,8 @@ from repro.experiments.report import save_results
 from repro.experiments.runner import ExperimentBudget
 from repro.experiments.table1 import TABLE1_SYSTEMS, run_table1
 from repro.experiments.table3 import improvement_summary, run_table3
+from repro.parallel import resolve_jobs
+from repro.store import DEFAULT_STORE_DIR, RunStore
 
 
 def parse_args(argv=None):
@@ -57,12 +65,46 @@ def parse_args(argv=None):
     )
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=resolve_jobs,
         default=1,
+        metavar="N|auto",
         help="worker processes for the experiment scheduler; 1 is the "
         "bit-exact sequential path, N>1 fans independent arms / "
         "dataset shards over a pool (identical results, less wall "
-        "clock on multi-core hosts)",
+        "clock on multi-core hosts); 'auto' uses the CPUs available "
+        "to this process",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="publish every arm/shard to the run store and skip work "
+        "already published there; interrupted arms restart from their "
+        "latest checkpoint (results bitwise identical either way)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        type=str,
+        default=str(DEFAULT_STORE_DIR),
+        help=f"run-store root used by --resume (default {DEFAULT_STORE_DIR})",
+    )
+    parser.add_argument(
+        "--no-time-match",
+        action="store_true",
+        help="run the TAP-2.5D* arm without the wall-clock match to RL "
+        "training; results then depend only on seeds, which is what the "
+        "interrupt-and-resume smoke compares bitwise",
+    )
+    parser.add_argument(
+        "--rl-checkpoint-every",
+        type=int,
+        default=5,
+        help="with --resume: trainer checkpoint cadence in epochs",
+    )
+    parser.add_argument(
+        "--sa-checkpoint-every",
+        type=int,
+        default=50,
+        help="with --resume: annealer checkpoint cadence in SA iterations",
     )
     parser.add_argument(
         "--t1-systems",
@@ -94,6 +136,9 @@ def build_budget(args) -> ExperimentBudget:
         rollout_batch_size=args.batch_size,
         sa_chains=args.sa_chains,
         position_samples=(args.positions, args.positions),
+        sa_time_matched=not args.no_time_match,
+        rl_checkpoint_every=args.rl_checkpoint_every,
+        sa_checkpoint_every=args.sa_checkpoint_every,
     )
 
 
@@ -102,8 +147,11 @@ def main(argv=None) -> None:
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     budget = build_budget(args)
+    store = RunStore(args.store_dir) if args.resume else None
     print(f"budget: {budget}")
     print(f"jobs: {args.jobs}")
+    if store is not None:
+        print(f"run store: {store.root} (resume enabled)")
     started = time.time()
 
     if "table2" not in args.skip:
@@ -112,6 +160,7 @@ def main(argv=None) -> None:
             n_systems=args.t2_systems,
             position_samples=budget.position_samples,
             jobs=args.jobs,
+            store=store,
         )
         print(t2.format())
         (out / "table2.json").write_text(
@@ -133,7 +182,7 @@ def main(argv=None) -> None:
     if "table1" not in args.skip:
         print("\n=== Table I ===")
         all_results = run_table1(
-            budget, systems=tuple(args.t1_systems), jobs=args.jobs
+            budget, systems=tuple(args.t1_systems), jobs=args.jobs, store=store
         )
         by_system = {}
         for res in all_results:
@@ -147,7 +196,7 @@ def main(argv=None) -> None:
     if "table3" not in args.skip:
         print("\n=== Table III ===")
         table3_results = run_table3(
-            budget, cases=tuple(args.t3_cases), jobs=args.jobs
+            budget, cases=tuple(args.t3_cases), jobs=args.jobs, store=store
         )
         save_results(
             table3_results, out / "table3.json", {"budget": asdict(budget)}

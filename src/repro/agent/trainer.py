@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.agent.networks import ActorCritic
 from repro.env import BatchedFloorplanEnv, FloorplanEnv
-from repro.nn import Adam, load_state_dict, save_state_dict
+from repro.nn import Adam, load_payload, save_payload
 from repro.rl import (
     Episode,
     PPOConfig,
@@ -42,6 +42,9 @@ from repro.utils import SeedSequence, get_logger
 __all__ = ["TrainerConfig", "TrainingResult", "RLPlannerTrainer"]
 
 _logger = get_logger("agent.trainer")
+
+#: ``kind`` tag of trainer checkpoints in the versioned payload schema.
+TRAINER_CHECKPOINT_KIND = "rlplanner-trainer"
 
 
 @dataclass(frozen=True)
@@ -76,12 +79,21 @@ class TrainerConfig:
     # Entropy annealing: the coefficient interpolates linearly from
     # ppo.entropy_coef to this value over the epoch budget (None = off).
     entropy_coef_final: float | None = 0.001
+    # Full-state checkpoint cadence in epochs (0 = never).  ``train``
+    # hands the complete resumable state (network + Adam moments + RNG
+    # generator states + running stats + progress) to its
+    # ``checkpoint_fn`` after every ``checkpoint_every``-th epoch; a
+    # run resumed from such a state is bitwise identical to one that
+    # was never interrupted.
+    checkpoint_every: int = 0
 
     def __post_init__(self) -> None:
         if self.epochs < 1 or self.episodes_per_epoch < 1:
             raise ValueError("epochs and episodes_per_epoch must be >= 1")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
 
 
 @dataclass
@@ -145,6 +157,19 @@ class RLPlannerTrainer:
             self.batched_env = BatchedFloorplanEnv(
                 env.system, env.reward_calculator, env.config
             )
+        self._progress = self._fresh_progress()
+
+    @staticmethod
+    def _fresh_progress() -> dict:
+        return {
+            "epochs_run": 0,
+            "best_reward": -np.inf,
+            "best_breakdown": None,
+            "best_placement": None,
+            "deadlocks": 0,
+            "history": [],
+            "elapsed": 0.0,
+        }
 
     # ------------------------------------------------------------------
 
@@ -228,18 +253,29 @@ class RLPlannerTrainer:
             live = result.live_indices
         return list(zip(episodes, infos))
 
-    def train(self) -> TrainingResult:
-        """Run the full training loop; returns the best floorplan found."""
-        cfg = self.config
-        start = time.perf_counter()
-        best_reward = -np.inf
-        best_breakdown = None
-        best_placement = None
-        deadlocks = 0
-        history = []
-        epochs_run = 0
+    def train(self, checkpoint_fn=None) -> TrainingResult:
+        """Run the full training loop; returns the best floorplan found.
 
-        for epoch in range(cfg.epochs):
+        Starts from scratch, or — after :meth:`load_state_dict` — from
+        the checkpointed epoch, continuing the interrupted run bitwise.
+        ``checkpoint_fn(state)`` receives the full resumable state after
+        every ``config.checkpoint_every``-th epoch.
+        """
+        cfg = self.config
+        progress = self._progress
+        best_reward = progress["best_reward"]
+        best_breakdown = progress["best_breakdown"]
+        best_placement = progress["best_placement"]
+        deadlocks = progress["deadlocks"]
+        history = progress["history"]
+        epochs_run = progress["epochs_run"]
+        start_epoch = epochs_run
+        # A resumed run's clock keeps ticking from the interrupted run's
+        # accumulated training time, so ``time_limit`` budgets span the
+        # whole run, not just the final leg.
+        start = time.perf_counter() - progress["elapsed"]
+
+        for epoch in range(start_epoch, cfg.epochs):
             if (
                 cfg.time_limit is not None
                 and time.perf_counter() - start > cfg.time_limit
@@ -285,6 +321,14 @@ class RLPlannerTrainer:
             }
             history.append(entry)
             epochs_run = epoch + 1
+            progress.update(
+                epochs_run=epochs_run,
+                best_reward=best_reward,
+                best_breakdown=best_breakdown,
+                best_placement=best_placement,
+                deadlocks=deadlocks,
+                elapsed=time.perf_counter() - start,
+            )
             if cfg.log_every and epoch % cfg.log_every == 0:
                 _logger.info(
                     "epoch %d mean_reward %.4f best %.4f entropy %.3f",
@@ -293,14 +337,22 @@ class RLPlannerTrainer:
                     best_reward,
                     stats.get("entropy", float("nan")),
                 )
+            if (
+                checkpoint_fn is not None
+                and cfg.checkpoint_every
+                and epochs_run % cfg.checkpoint_every == 0
+                and epochs_run < cfg.epochs
+            ):
+                checkpoint_fn(self.state_dict())
 
+        progress["elapsed"] = time.perf_counter() - start
         return TrainingResult(
             best_reward=float(best_reward),
             best_breakdown=best_breakdown,
             best_placement=best_placement,
             history=history,
             epochs_run=epochs_run,
-            elapsed=time.perf_counter() - start,
+            elapsed=progress["elapsed"],
             deadlock_count=deadlocks,
         )
 
@@ -310,8 +362,114 @@ class RLPlannerTrainer:
         """Deterministic rollout with the current policy."""
         return self.collect_episode(greedy=True)
 
+    # ------------------------------------------------------------------
+    # full-state checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Everything needed to resume training bitwise.
+
+        Network weights, Adam first/second moments and step counter,
+        the action/PPO RNG generator states (``bit_generator.state``),
+        the RND predictor + its optimizer and running observation/bonus
+        statistics (the frozen target re-derives from the seed), the
+        batched engine's episode counter, and the training progress
+        (best layout so far, history, deadlock count, elapsed budget).
+        """
+        # The history list must be snapshotted, not aliased: train()
+        # keeps appending to the live list, which would retroactively
+        # grow an in-memory checkpoint taken at epoch k.  (Entries are
+        # never mutated after append, so a shallow list copy suffices;
+        # network/optimizer state dicts already copy their arrays.)
+        progress = dict(self._progress)
+        progress["history"] = list(progress["history"])
+        state = {
+            "seed": self.config.seed,
+            "batch_size": self.config.batch_size,
+            "episode_index": self._episode_index,
+            "network": self.network.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "act_rng": self._act_rng.bit_generator.state,
+            "ppo_rng": self._ppo_rng.bit_generator.state,
+            "progress": progress,
+            "rnd": None,
+        }
+        if self.rnd is not None:
+            state["rnd"] = {
+                "predictor": self.rnd.predictor.state_dict(),
+                "optimizer": self.rnd.optimizer.state_dict(),
+                "obs_stats": _stats_state(self.rnd.obs_stats),
+                "bonus_stats": _stats_state(self.rnd.bonus_stats),
+            }
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore a :meth:`state_dict`; the next :meth:`train` resumes.
+
+        Loading into a trainer with a different seed or collection
+        engine is allowed (weight transfer is legitimate) but warned
+        about: a *resumed* run is only bitwise-faithful when both
+        match.
+        """
+        if state.get("seed") != self.config.seed:
+            _logger.warning(
+                "checkpoint seed %s != trainer seed %s; resuming will not "
+                "reproduce the original run",
+                state.get("seed"),
+                self.config.seed,
+            )
+        if bool(state.get("batch_size", 1) > 1) != bool(
+            self.config.batch_size > 1
+        ):
+            _logger.warning(
+                "checkpoint batch_size %s and trainer batch_size %s select "
+                "different collection engines; resuming will not reproduce "
+                "the original run",
+                state.get("batch_size"),
+                self.config.batch_size,
+            )
+        self._episode_index = int(state["episode_index"])
+        self.network.load_state_dict(state["network"])
+        self.optimizer.load_state_dict(state["optimizer"])
+        self._act_rng.bit_generator.state = state["act_rng"]
+        self._ppo_rng.bit_generator.state = state["ppo_rng"]
+        self._progress = dict(state["progress"])
+        self._progress["history"] = list(self._progress["history"])
+        rnd_state = state.get("rnd")
+        if (rnd_state is None) != (self.rnd is None):
+            raise ValueError(
+                "checkpoint and trainer disagree on use_rnd; cannot resume"
+            )
+        if rnd_state is not None:
+            self.rnd.predictor.load_state_dict(rnd_state["predictor"])
+            self.rnd.optimizer.load_state_dict(rnd_state["optimizer"])
+            _load_stats_state(self.rnd.obs_stats, rnd_state["obs_stats"])
+            _load_stats_state(self.rnd.bonus_stats, rnd_state["bonus_stats"])
+
     def save_checkpoint(self, path) -> None:
-        save_state_dict(self.network.state_dict(), path)
+        """Write a full resumable checkpoint (versioned payload schema)."""
+        save_payload(self.state_dict(), path, kind=TRAINER_CHECKPOINT_KIND)
 
     def load_checkpoint(self, path) -> None:
-        self.network.load_state_dict(load_state_dict(path))
+        """Load a checkpoint written by :meth:`save_checkpoint`.
+
+        Legacy weight-only archives raise
+        :class:`~repro.nn.LegacyCheckpointError` — they have no
+        optimizer, RNG or progress state, so "loading" one would
+        silently resume with reset Adam moments and a fresh RNG.
+        """
+        self.load_state_dict(load_payload(path, kind=TRAINER_CHECKPOINT_KIND))
+
+
+def _stats_state(stats) -> dict:
+    return {
+        "mean": np.asarray(stats.mean).copy(),
+        "var": np.asarray(stats.var).copy(),
+        "count": float(stats.count),
+    }
+
+
+def _load_stats_state(stats, state: dict) -> None:
+    stats.mean = np.array(state["mean"], dtype=np.float64, copy=True)
+    stats.var = np.array(state["var"], dtype=np.float64, copy=True)
+    stats.count = float(state["count"])

@@ -49,6 +49,7 @@ class BStarConfig:
     seed: int = 0
     n_chains: int = 1
     history_stride: int = 1
+    checkpoint_every: int = 0
 
     def __post_init__(self) -> None:
         mix = self.rotate_fraction + self.swap_fraction + self.move_fraction
@@ -282,7 +283,7 @@ class BStarFloorplanner:
             f"no legal compacted layout found for {self.system.name!r}"
         )
 
-    def run(self) -> PlacerResult:
+    def run(self, resume_state=None, checkpoint_fn=None) -> PlacerResult:
         """Anneal; returns the best legal compacted floorplan.
 
         Multi-chain runs (``config.n_chains > 1``) draw one independent
@@ -290,6 +291,11 @@ class BStarFloorplanner:
         advance all chains in lockstep with one batched reward
         evaluation per step (every chain packs the same die set, so the
         fast thermal model vectorizes across chains).
+
+        ``checkpoint_fn``/``resume_state`` pass through to the SA
+        engine: a resumed run reproduces the uninterrupted run bitwise
+        (the snapshot carries the per-chain incumbents, so the initial
+        legality search is skipped entirely on resume).
         """
         cfg = self.config
         start = time.perf_counter()
@@ -314,23 +320,46 @@ class BStarFloorplanner:
                 seed=cfg.seed,
                 n_chains=cfg.n_chains,
                 history_stride=cfg.history_stride,
+                checkpoint_every=cfg.checkpoint_every,
             ),
             evaluate_many=evaluate_many,
         )
         if cfg.n_chains > 1:
-            initials = [
-                self._legal_initial_tree(rng) for _ in range(cfg.n_chains)
-            ]
-            result = engine.run_chains(initials)
+            # A resume only reads the chain count from the initial
+            # states (the snapshot carries the incumbents); skip the
+            # per-chain legality search then.
+            initials = (
+                [None] * cfg.n_chains
+                if resume_state is not None
+                else [
+                    self._legal_initial_tree(rng)
+                    for _ in range(cfg.n_chains)
+                ]
+            )
+            result = engine.run_chains(
+                initials, resume_state=resume_state, checkpoint_fn=checkpoint_fn
+            )
         else:
-            result = engine.run(self._legal_initial_tree(rng))
+            initial = (
+                None
+                if resume_state is not None
+                else self._legal_initial_tree(rng)
+            )
+            result = engine.run(
+                initial,
+                resume_state=resume_state,
+                checkpoint_fn=checkpoint_fn,
+            )
         best_tree = result.best_state
         placement = best_tree.pack()
         breakdown = self.reward_calculator.evaluate(placement)
+        # Fold the interrupted leg's wall clock back in so a resumed
+        # run reports its full runtime, not just the final leg.
+        prior = resume_state["elapsed"] if resume_state is not None else 0.0
         return PlacerResult(
             placement=placement,
             breakdown=breakdown,
             n_evaluations=result.n_evaluations,
-            elapsed=time.perf_counter() - start,
+            elapsed=prior + time.perf_counter() - start,
             history=result.history,
         )

@@ -71,6 +71,14 @@ class SAConfig:
     history_stride:
         Record every ``stride``-th iteration into the history columns.
         1 (the default) preserves the original per-iteration trace.
+    checkpoint_every:
+        Snapshot cadence in iterations (0 = never).  The engine hands a
+        full resumable snapshot (incumbents, costs, temperatures, RNG
+        generator states, history, counters) to the ``checkpoint_fn``
+        passed to :meth:`SimulatedAnnealing.run` after every
+        ``checkpoint_every``-th iteration; a run resumed from such a
+        snapshot is bitwise identical to one that was never
+        interrupted.
     """
 
     n_iterations: int = 2000
@@ -82,10 +90,13 @@ class SAConfig:
     n_chains: int = 1
     incremental: bool = False
     history_stride: int = 1
+    checkpoint_every: int = 0
 
     def __post_init__(self) -> None:
         if self.n_iterations < 1:
             raise ValueError("n_iterations must be >= 1")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
         if self.final_temperature <= 0:
             raise ValueError("final_temperature must be positive")
         if self.n_chains < 1:
@@ -146,6 +157,21 @@ class SAHistory:
         view = self._rows[: self._n, self.FIELDS.index(name)]
         view.flags.writeable = False
         return view
+
+    def state_dict(self) -> dict:
+        """Recorded rows + stride, for checkpoint snapshots."""
+        return {"stride": self.stride, "rows": self._rows[: self._n].copy()}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore rows recorded before a checkpoint (bitwise)."""
+        rows = np.asarray(state["rows"], dtype=np.float64)
+        self.stride = int(state["stride"])
+        if len(rows) > len(self._rows):
+            self._rows = np.empty(
+                (len(rows), len(self.FIELDS)), dtype=np.float64
+            )
+        self._rows[: len(rows)] = rows
+        self._n = len(rows)
 
     def _as_dict(self, row: np.ndarray) -> dict:
         entry = dict(zip(self.FIELDS, row))
@@ -219,36 +245,92 @@ class SimulatedAnnealing:
         self.config = config or SAConfig()
         self.evaluate_many = evaluate_many
 
-    def run(self, initial_state) -> SAResult:
-        """Anneal from one initial state (replicated across chains)."""
+    def run(
+        self, initial_state, resume_state=None, checkpoint_fn=None
+    ) -> SAResult:
+        """Anneal from one initial state (replicated across chains).
+
+        ``resume_state`` is a snapshot previously handed to
+        ``checkpoint_fn``; the run continues from that iteration and is
+        bitwise identical to an uninterrupted run.
+        """
         if self.config.n_chains > 1:
-            return self.run_chains([initial_state] * self.config.n_chains)
-        return self._run_sequential(initial_state)
+            return self.run_chains(
+                [initial_state] * self.config.n_chains,
+                resume_state=resume_state,
+                checkpoint_fn=checkpoint_fn,
+            )
+        return self._run_sequential(
+            initial_state, resume_state=resume_state, checkpoint_fn=checkpoint_fn
+        )
+
+    def _should_checkpoint(self, iteration: int, checkpoint_fn) -> bool:
+        every = self.config.checkpoint_every
+        done = iteration + 1
+        return (
+            checkpoint_fn is not None
+            and every > 0
+            and done % every == 0
+            and done < self.config.n_iterations
+        )
+
+    @staticmethod
+    def _check_snapshot(snapshot: dict, engine: str) -> None:
+        found = snapshot.get("engine")
+        if found != engine:
+            raise ValueError(
+                f"cannot resume a {found!r} snapshot with the {engine!r} "
+                "engine (chain count changed between runs?)"
+            )
 
     # ------------------------------------------------------------------
     # sequential engine (n_chains=1) — golden-pinned, do not disturb
     # ------------------------------------------------------------------
 
-    def _run_sequential(self, initial_state) -> SAResult:
+    def _run_sequential(
+        self, initial_state, resume_state=None, checkpoint_fn=None
+    ) -> SAResult:
         cfg = self.config
         rng = np.random.default_rng(cfg.seed)
-        start = time.perf_counter()
-
-        current = initial_state
-        current_cost = self.evaluate(current)
-        best, best_cost = current, current_cost
-        n_evaluations = 1
-        n_accepted = 0
         history = SAHistory(cfg.n_iterations, cfg.history_stride)
 
-        t0 = cfg.initial_temperature
-        if t0 is None:
-            t0, calibration_evals = self._calibrate(current, current_cost, rng)
-            n_evaluations += calibration_evals
-        cooling = (cfg.final_temperature / t0) ** (1.0 / max(cfg.n_iterations, 1))
+        if resume_state is None:
+            start = time.perf_counter()
+            current = initial_state
+            current_cost = self.evaluate(current)
+            best, best_cost = current, current_cost
+            n_evaluations = 1
+            n_accepted = 0
 
-        temperature = t0
-        for iteration in range(cfg.n_iterations):
+            t0 = cfg.initial_temperature
+            if t0 is None:
+                t0, calibration_evals = self._calibrate(
+                    current, current_cost, rng
+                )
+                n_evaluations += calibration_evals
+            cooling = (cfg.final_temperature / t0) ** (
+                1.0 / max(cfg.n_iterations, 1)
+            )
+            temperature = t0
+            start_iteration = 0
+        else:
+            self._check_snapshot(resume_state, "sequential")
+            rng.bit_generator.state = resume_state["rng_state"]
+            current = resume_state["current"]
+            current_cost = resume_state["current_cost"]
+            best = resume_state["best"]
+            best_cost = resume_state["best_cost"]
+            n_evaluations = resume_state["n_evaluations"]
+            n_accepted = resume_state["n_accepted"]
+            cooling = resume_state["cooling"]
+            temperature = resume_state["temperature"]
+            history.load_state_dict(resume_state["history"])
+            start_iteration = resume_state["iteration"]
+            # Resume the wall clock where the interrupted run left it so
+            # time_limit budgets span the whole run.
+            start = time.perf_counter() - resume_state["elapsed"]
+
+        for iteration in range(start_iteration, cfg.n_iterations):
             if (
                 cfg.time_limit is not None
                 and time.perf_counter() - start > cfg.time_limit
@@ -257,19 +339,36 @@ class SimulatedAnnealing:
             progress = iteration / cfg.n_iterations
             candidate = self.propose(current, rng, progress)
             temperature *= cooling
-            if candidate is None:
-                continue
-            candidate_cost = self.evaluate(candidate)
-            n_evaluations += 1
-            delta = candidate_cost - current_cost
-            if delta <= 0 or rng.random() < math.exp(
-                -delta / max(temperature, 1e-12)
-            ):
-                current, current_cost = candidate, candidate_cost
-                n_accepted += 1
-                if current_cost < best_cost:
-                    best, best_cost = current, current_cost
-            history.record(iteration, temperature, current_cost, best_cost)
+            if candidate is not None:
+                candidate_cost = self.evaluate(candidate)
+                n_evaluations += 1
+                delta = candidate_cost - current_cost
+                if delta <= 0 or rng.random() < math.exp(
+                    -delta / max(temperature, 1e-12)
+                ):
+                    current, current_cost = candidate, candidate_cost
+                    n_accepted += 1
+                    if current_cost < best_cost:
+                        best, best_cost = current, current_cost
+                history.record(iteration, temperature, current_cost, best_cost)
+            if self._should_checkpoint(iteration, checkpoint_fn):
+                checkpoint_fn(
+                    {
+                        "engine": "sequential",
+                        "iteration": iteration + 1,
+                        "rng_state": rng.bit_generator.state,
+                        "current": current,
+                        "current_cost": current_cost,
+                        "best": best,
+                        "best_cost": best_cost,
+                        "n_evaluations": n_evaluations,
+                        "n_accepted": n_accepted,
+                        "cooling": cooling,
+                        "temperature": temperature,
+                        "history": history.state_dict(),
+                        "elapsed": time.perf_counter() - start,
+                    }
+                )
 
         return SAResult(
             best_state=best,
@@ -309,7 +408,9 @@ class SimulatedAnnealing:
             return np.asarray(self.evaluate_many(states), dtype=np.float64)
         return np.array([self.evaluate(s) for s in states], dtype=np.float64)
 
-    def run_chains(self, initial_states) -> SAResult:
+    def run_chains(
+        self, initial_states, resume_state=None, checkpoint_fn=None
+    ) -> SAResult:
         """Anneal ``len(initial_states)`` chains in lockstep.
 
         Each iteration proposes one move per chain, evaluates every
@@ -317,34 +418,63 @@ class SimulatedAnnealing:
         applies the Metropolis rule per chain with that chain's own RNG
         and temperature.  History rows aggregate across chains:
         ``temperature`` is the chain mean, ``current_cost``/``best_cost``
-        are population minima.
+        are population minima.  ``resume_state``/``checkpoint_fn``
+        mirror :meth:`run`: a resumed multi-chain run restores every
+        chain's RNG, temperature and incumbent and is bitwise identical
+        to an uninterrupted one.
         """
         cfg = self.config
         chains = len(initial_states)
         if chains < 1:
             raise ValueError("run_chains needs at least one initial state")
         rngs = [np.random.default_rng(cfg.seed + c) for c in range(chains)]
-        start = time.perf_counter()
-
-        current = list(initial_states)
-        costs = self._evaluate_states(current)
-        best = list(current)
-        best_costs = costs.copy()
-        n_evaluations = chains
-        n_accepted = 0
         history = SAHistory(cfg.n_iterations, cfg.history_stride)
 
-        if cfg.initial_temperature is None:
-            t0, calibration_evals = self._calibrate_chains(current, costs, rngs)
-            n_evaluations += calibration_evals
-        else:
-            t0 = np.full(chains, float(cfg.initial_temperature))
-        cooling = (cfg.final_temperature / t0) ** (
-            1.0 / max(cfg.n_iterations, 1)
-        )
+        if resume_state is None:
+            start = time.perf_counter()
+            current = list(initial_states)
+            costs = self._evaluate_states(current)
+            best = list(current)
+            best_costs = costs.copy()
+            n_evaluations = chains
+            n_accepted = 0
 
-        temperature = t0.copy()
-        for iteration in range(cfg.n_iterations):
+            if cfg.initial_temperature is None:
+                t0, calibration_evals = self._calibrate_chains(
+                    current, costs, rngs
+                )
+                n_evaluations += calibration_evals
+            else:
+                t0 = np.full(chains, float(cfg.initial_temperature))
+            cooling = (cfg.final_temperature / t0) ** (
+                1.0 / max(cfg.n_iterations, 1)
+            )
+            temperature = t0.copy()
+            start_iteration = 0
+        else:
+            self._check_snapshot(resume_state, "chains")
+            if resume_state["n_chains"] != chains:
+                raise ValueError(
+                    f"snapshot has {resume_state['n_chains']} chains, "
+                    f"run_chains was given {chains} initial states"
+                )
+            for rng, state in zip(rngs, resume_state["rng_states"]):
+                rng.bit_generator.state = state
+            current = list(resume_state["current"])
+            costs = np.array(resume_state["costs"], dtype=np.float64)
+            best = list(resume_state["best"])
+            best_costs = np.array(resume_state["best_costs"], dtype=np.float64)
+            n_evaluations = resume_state["n_evaluations"]
+            n_accepted = resume_state["n_accepted"]
+            cooling = np.array(resume_state["cooling"], dtype=np.float64)
+            temperature = np.array(
+                resume_state["temperature"], dtype=np.float64
+            )
+            history.load_state_dict(resume_state["history"])
+            start_iteration = resume_state["iteration"]
+            start = time.perf_counter() - resume_state["elapsed"]
+
+        for iteration in range(start_iteration, cfg.n_iterations):
             if (
                 cfg.time_limit is not None
                 and time.perf_counter() - start > cfg.time_limit
@@ -357,29 +487,49 @@ class SimulatedAnnealing:
             ]
             temperature *= cooling
             live = [c for c in range(chains) if candidates[c] is not None]
-            if not live:
-                continue
-            candidate_costs = self._evaluate_states(
-                [candidates[c] for c in live]
-            )
-            n_evaluations += len(live)
-            for k, c in enumerate(live):
-                delta = candidate_costs[k] - costs[c]
-                if delta <= 0 or rngs[c].random() < math.exp(
-                    -delta / max(temperature[c], 1e-12)
-                ):
-                    current[c] = candidates[c]
-                    costs[c] = candidate_costs[k]
-                    n_accepted += 1
-                    if costs[c] < best_costs[c]:
-                        best[c] = current[c]
-                        best_costs[c] = costs[c]
-            history.record(
-                iteration,
-                float(temperature.mean()),
-                float(costs.min()),
-                float(best_costs.min()),
-            )
+            if live:
+                candidate_costs = self._evaluate_states(
+                    [candidates[c] for c in live]
+                )
+                n_evaluations += len(live)
+                for k, c in enumerate(live):
+                    delta = candidate_costs[k] - costs[c]
+                    if delta <= 0 or rngs[c].random() < math.exp(
+                        -delta / max(temperature[c], 1e-12)
+                    ):
+                        current[c] = candidates[c]
+                        costs[c] = candidate_costs[k]
+                        n_accepted += 1
+                        if costs[c] < best_costs[c]:
+                            best[c] = current[c]
+                            best_costs[c] = costs[c]
+                history.record(
+                    iteration,
+                    float(temperature.mean()),
+                    float(costs.min()),
+                    float(best_costs.min()),
+                )
+            if self._should_checkpoint(iteration, checkpoint_fn):
+                checkpoint_fn(
+                    {
+                        "engine": "chains",
+                        "n_chains": chains,
+                        "iteration": iteration + 1,
+                        "rng_states": [
+                            rng.bit_generator.state for rng in rngs
+                        ],
+                        "current": list(current),
+                        "costs": costs.copy(),
+                        "best": list(best),
+                        "best_costs": best_costs.copy(),
+                        "n_evaluations": n_evaluations,
+                        "n_accepted": n_accepted,
+                        "cooling": cooling.copy(),
+                        "temperature": temperature.copy(),
+                        "history": history.state_dict(),
+                        "elapsed": time.perf_counter() - start,
+                    }
+                )
 
         winner = int(np.argmin(best_costs))
         return SAResult(

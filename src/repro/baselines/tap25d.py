@@ -62,6 +62,9 @@ class TAP25DConfig:
         full evaluation to ~1e-9 degC (exactness-pinned), not bitwise.
     history_stride:
         Thin the recorded history to every ``stride``-th iteration.
+    checkpoint_every:
+        Snapshot cadence in SA iterations (0 = never); see
+        :attr:`repro.baselines.sa.SAConfig.checkpoint_every`.
     """
 
     n_iterations: int = 2000
@@ -76,6 +79,7 @@ class TAP25DConfig:
     n_chains: int = 1
     incremental: bool = False
     history_stride: int = 1
+    checkpoint_every: int = 0
 
     def __post_init__(self) -> None:
         mix = self.displace_fraction + self.swap_fraction + self.rotate_fraction
@@ -261,7 +265,7 @@ class TAP25DPlacer:
             assigner=self.reward_calculator.assigner,
         )
 
-    def run(self) -> PlacerResult:
+    def run(self, resume_state=None, checkpoint_fn=None) -> PlacerResult:
         """Anneal from the shelf packing; returns the best layout found.
 
         With ``config.n_chains > 1`` the SA engine advances all chains
@@ -271,6 +275,16 @@ class TAP25DPlacer:
         evaluation per chain.  With ``config.incremental`` (single
         chain) the scalar evaluations run through the fast model's
         single-move delta path instead.
+
+        ``checkpoint_fn``/``resume_state`` pass straight through to the
+        SA engine (see :meth:`SimulatedAnnealing.run`): a run resumed
+        from a snapshot reproduces the uninterrupted run bitwise —
+        except under ``config.incremental``, whose delta evaluator
+        carries accumulated running sums the snapshot does not capture
+        (a resumed leg rebuilds them drift-free, so it matches the
+        uninterrupted run only to the incremental path's documented
+        ~1e-9 degC exactness, not bitwise; the experiment harness
+        therefore disables checkpointing for incremental arms).
         """
         cfg = self.config
         start = time.perf_counter()
@@ -294,17 +308,28 @@ class TAP25DPlacer:
                 n_chains=cfg.n_chains,
                 incremental=cfg.incremental and cfg.n_chains == 1,
                 history_stride=cfg.history_stride,
+                checkpoint_every=cfg.checkpoint_every,
             ),
             evaluate_many=evaluate_many,
         )
         rng = np.random.default_rng(cfg.seed)
-        result = engine.run(self.initial_placement(rng))
+        # A resume ignores the initial state (the snapshot carries the
+        # incumbents), so don't pay for shelf packing again.
+        initial = None if resume_state is not None else self.initial_placement(rng)
+        result = engine.run(
+            initial,
+            resume_state=resume_state,
+            checkpoint_fn=checkpoint_fn,
+        )
         best_placement = result.best_state
         breakdown = self.reward_calculator.evaluate(best_placement)
+        # Fold the interrupted leg's wall clock back in so a resumed
+        # run reports its full runtime, not just the final leg.
+        prior = resume_state["elapsed"] if resume_state is not None else 0.0
         return PlacerResult(
             placement=best_placement,
             breakdown=breakdown,
             n_evaluations=result.n_evaluations,
-            elapsed=time.perf_counter() - start,
+            elapsed=prior + time.perf_counter() - start,
             history=result.history,
         )

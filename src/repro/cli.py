@@ -6,6 +6,11 @@ Subcommands map one-to-one onto the experiment harness:
   paper table at a chosen budget scale
 * ``train`` — train RLPlanner on one benchmark and print the floorplan
 * ``sa`` — run the TAP-2.5D baseline on one benchmark
+
+``--jobs N`` (or ``--jobs auto``) fans independent work over a process
+pool; ``--resume`` makes sweeps durable through the content-addressed
+run store (completed arms are skipped, interrupted arms restart from
+their latest checkpoint — bitwise identical to an uninterrupted run).
 """
 
 from __future__ import annotations
@@ -22,6 +27,8 @@ from repro.experiments import (
 )
 from repro.experiments.report import format_table, save_results
 from repro.experiments.runner import run_all_methods
+from repro.parallel import resolve_jobs
+from repro.store import DEFAULT_STORE_DIR, RunStore
 from repro.systems import benchmark_names, get_benchmark
 
 __all__ = ["main"]
@@ -89,15 +96,40 @@ def _add_budget_args(parser) -> None:
 
 def _add_jobs_arg(parser) -> None:
     # Only on the subcommands that actually fan work over a pool
-    # (table1/table3 arms, table2 shards) — single-arm commands would
-    # silently ignore it.
+    # (table1/table3/ablation arms, table2 shards) — single-arm
+    # commands would silently ignore it.
     parser.add_argument(
         "--jobs",
-        type=int,
+        type=resolve_jobs,
         default=1,
+        metavar="N|auto",
         help="worker processes for the experiment scheduler (1 = the "
-        "bit-exact sequential path; N fans independent arms over a pool)",
+        "bit-exact sequential path; N fans independent arms over a "
+        "pool; 'auto' = the CPUs available to this process)",
     )
+
+
+def _add_resume_args(parser) -> None:
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="make the sweep durable through the run store: completed "
+        "arms are skipped, interrupted arms restart from their latest "
+        "checkpoint with bitwise-identical results (wall-clock-limited "
+        "arms — the time-matched TAP-2.5D* — are result-cached only "
+        "and restart from scratch if interrupted)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        type=str,
+        default=str(DEFAULT_STORE_DIR),
+        help="run-store root used by --resume "
+        f"(default: {DEFAULT_STORE_DIR})",
+    )
+
+
+def _store_from_args(args) -> RunStore | None:
+    return RunStore(args.store_dir) if args.resume else None
 
 
 def main(argv=None) -> int:
@@ -110,13 +142,14 @@ def main(argv=None) -> int:
     for table in ("table1", "table3", "ablations"):
         p = sub.add_parser(table, help=f"regenerate {table}")
         _add_budget_args(p)
-        if table != "ablations":
-            _add_jobs_arg(p)
+        _add_jobs_arg(p)
+        _add_resume_args(p)
 
     p2 = sub.add_parser("table2", help="fast thermal model accuracy/speed")
     p2.add_argument("--systems", type=int, default=300)
     p2.add_argument("--seed", type=int, default=7)
     _add_jobs_arg(p2)
+    _add_resume_args(p2)
     p2.add_argument("--output", type=str, default=None)
 
     pt = sub.add_parser("train", help="train RLPlanner on one benchmark")
@@ -137,14 +170,23 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.command == "table1":
-        results = run_table1(_budget_from_args(args), jobs=args.jobs)
+        results = run_table1(
+            _budget_from_args(args), jobs=args.jobs, store=_store_from_args(args)
+        )
     elif args.command == "table3":
-        results = run_table3(_budget_from_args(args), jobs=args.jobs)
+        results = run_table3(
+            _budget_from_args(args), jobs=args.jobs, store=_store_from_args(args)
+        )
     elif args.command == "ablations":
-        results = run_ablations(_budget_from_args(args))
+        results = run_ablations(
+            _budget_from_args(args), jobs=args.jobs, store=_store_from_args(args)
+        )
     elif args.command == "table2":
         table2 = run_table2(
-            n_systems=args.systems, seed=args.seed, jobs=args.jobs
+            n_systems=args.systems,
+            seed=args.seed,
+            jobs=args.jobs,
+            store=_store_from_args(args),
         )
         print(table2.format())
         if args.output:

@@ -7,6 +7,14 @@
 
 Each ablation runs on synthetic case 1 with a small budget; results are
 MethodResult rows whose ``method`` encodes the variant.
+
+Every variant is a standalone, picklable job
+(:func:`run_ablation_arm`) scheduled through :mod:`repro.parallel`,
+exactly like the Table I/III method arms: ``jobs=1`` runs the variants
+in their historical sequential order (bit for bit — each arm reloads
+the same characterization tables from the disk cache), ``jobs=N`` fans
+the independent variants over a process pool, and a run ``store`` skips
+variants whose results are already published.
 """
 
 from __future__ import annotations
@@ -17,15 +25,35 @@ from repro.agent import RLPlannerTrainer, TrainerConfig
 from repro.bumps import BumpAssigner
 from repro.env import EnvConfig, FloorplanEnv
 from repro.experiments.report import MethodResult
-from repro.experiments.runner import ExperimentBudget, build_evaluators
+from repro.experiments.runner import (
+    ExperimentBudget,
+    as_store,
+    budget_store_payload,
+    build_evaluators,
+    prewarm_thermal_tables,
+    spec_fingerprint,
+)
+from repro.parallel import JobSpec, run_jobs
 from repro.reward import RewardCalculator, RewardConfig
 from repro.rl import RNDConfig
+from repro.store import store_key
 from repro.systems import get_benchmark
 from repro.utils import get_logger
 
-__all__ = ["run_ablations"]
+__all__ = ["ABLATION_VARIANTS", "run_ablation_arm", "run_ablations"]
 
 _logger = get_logger("experiments.ablations")
+
+#: Variant labels in their historical (sequential) execution order.
+ABLATION_VARIANTS = (
+    "rl/fast/base",
+    "rl/fast/rnd",
+    "rl/solver/base",
+    "rl/fast/wl-estimate",
+    "rl/fast/wl-hungarian",
+    "rl/fast/grid16",
+    "rl/fast/grid32",
+)
 
 
 def _train(spec, reward_calculator, budget, label, use_rnd=False, grid=None):
@@ -58,63 +86,109 @@ def _train(spec, reward_calculator, budget, label, use_rnd=False, grid=None):
     )
 
 
-def run_ablations(
-    budget: ExperimentBudget | None = None, cache_dir=None, verbose: bool = True
-) -> list:
-    """Run all ablation variants on synthetic case 1."""
-    budget = budget or ExperimentBudget(rl_epochs=15)
+def run_ablation_arm(
+    variant: str, budget: ExperimentBudget, cache_dir=None
+) -> MethodResult:
+    """One standalone ablation variant — the scheduler's job unit.
+
+    Self-contained like :func:`~repro.experiments.runner.run_method_arm`:
+    it rebuilds its evaluators from the (bit-exact) thermal-table disk
+    cache, so running variants in any worker in any order reproduces
+    the historical sequential loop exactly.
+    """
     spec = get_benchmark("synthetic1")
     evaluators = build_evaluators(spec, budget, cache_dir)
-    results = []
-
-    # --- RND on/off -----------------------------------------------------
-    results.append(
-        _train(spec, evaluators["reward_fast"], budget, "rl/fast/base")
-    )
-    results.append(
-        _train(spec, evaluators["reward_fast"], budget, "rl/fast/rnd", use_rnd=True)
-    )
-
-    # --- thermal evaluator inside the loop -------------------------------
-    # The whole point of the fast model: the solver-in-the-loop variant
-    # gets the same *epoch* budget and pays the wall-clock price.
-    results.append(
-        _train(spec, evaluators["reward_solver"], budget, "rl/solver/base")
-    )
-
-    # --- wirelength evaluator --------------------------------------------
-    estimate_reward = RewardCalculator(
-        evaluators["fast_model"],
-        RewardConfig(
-            lambda_wl=spec.reward_config.lambda_wl,
-            t_limit=spec.reward_config.t_limit,
-            alpha=spec.reward_config.alpha,
-            use_bump_assignment=False,
-        ),
-    )
-    results.append(
-        _train(spec, estimate_reward, budget, "rl/fast/wl-estimate")
-    )
-    hungarian_reward = RewardCalculator(
-        evaluators["fast_model"],
-        spec.reward_config,
-        assigner=BumpAssigner(wire_group_size=8, method="hungarian"),
-    )
-    results.append(
-        _train(spec, hungarian_reward, budget, "rl/fast/wl-hungarian")
-    )
-
-    # --- grid resolution --------------------------------------------------
-    for grid in (16, 32):
-        results.append(
-            _train(
-                spec,
-                evaluators["reward_fast"],
-                budget,
-                f"rl/fast/grid{grid}",
-                grid=grid,
-            )
+    _logger.info("ablation %s", variant)
+    if variant == "rl/fast/base":
+        return _train(spec, evaluators["reward_fast"], budget, variant)
+    if variant == "rl/fast/rnd":
+        return _train(
+            spec, evaluators["reward_fast"], budget, variant, use_rnd=True
         )
+    if variant == "rl/solver/base":
+        # The whole point of the fast model: the solver-in-the-loop
+        # variant gets the same *epoch* budget and pays the wall-clock
+        # price.
+        return _train(spec, evaluators["reward_solver"], budget, variant)
+    if variant == "rl/fast/wl-estimate":
+        estimate_reward = RewardCalculator(
+            evaluators["fast_model"],
+            RewardConfig(
+                lambda_wl=spec.reward_config.lambda_wl,
+                t_limit=spec.reward_config.t_limit,
+                alpha=spec.reward_config.alpha,
+                use_bump_assignment=False,
+            ),
+        )
+        return _train(spec, estimate_reward, budget, variant)
+    if variant == "rl/fast/wl-hungarian":
+        hungarian_reward = RewardCalculator(
+            evaluators["fast_model"],
+            spec.reward_config,
+            assigner=BumpAssigner(wire_group_size=8, method="hungarian"),
+        )
+        return _train(spec, hungarian_reward, budget, variant)
+    if variant.startswith("rl/fast/grid"):
+        grid = int(variant.removeprefix("rl/fast/grid"))
+        return _train(
+            spec, evaluators["reward_fast"], budget, variant, grid=grid
+        )
+    raise ValueError(f"unknown ablation variant {variant!r}")
+
+
+def _ablation_store_key(spec, variant: str, budget: ExperimentBudget) -> str:
+    return store_key(
+        "ablation_arm",
+        {
+            "spec": spec_fingerprint(spec),
+            "variant": variant,
+            "budget": budget_store_payload(budget),
+        },
+    )
+
+
+def run_ablations(
+    budget: ExperimentBudget | None = None,
+    cache_dir=None,
+    verbose: bool = True,
+    jobs: int = 1,
+    store=None,
+) -> list:
+    """Run all ablation variants on synthetic case 1.
+
+    ``jobs=1`` preserves the historical sequential order bit for bit;
+    ``jobs=N`` fans the independent variants over a process pool after
+    a shared characterization prewarm.  ``store`` skips variants whose
+    results are already published (resumable ablation sweeps).
+    """
+    budget = budget or ExperimentBudget(rl_epochs=15)
+    store = as_store(store)
+    spec = get_benchmark("synthetic1")
+    job_specs = [
+        JobSpec(
+            job_id="ablations/prewarm",
+            fn=prewarm_thermal_tables,
+            kwargs=dict(spec=spec, budget=budget, cache_dir=cache_dir),
+        )
+    ]
+    job_specs.extend(
+        JobSpec(
+            job_id=f"ablations/{variant}",
+            fn=run_ablation_arm,
+            kwargs=dict(variant=variant, budget=budget, cache_dir=cache_dir),
+            needs=("ablations/prewarm",),
+            store_key=(
+                _ablation_store_key(spec, variant, budget)
+                if store is not None
+                else None
+            ),
+        )
+        for variant in ABLATION_VARIANTS
+    )
+    outcome = run_jobs(job_specs, jobs=jobs, store=store)
+    results = [
+        outcome[f"ablations/{variant}"] for variant in ABLATION_VARIANTS
+    ]
 
     if verbose:
         from repro.experiments.report import format_table

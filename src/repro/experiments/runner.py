@@ -32,7 +32,7 @@ safe:
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
 from repro.agent import RLPlannerTrainer, TrainerConfig
@@ -42,6 +42,7 @@ from repro.experiments.report import MethodResult
 from repro.parallel import JobSpec, run_jobs
 from repro.reward import RewardCalculator
 from repro.rl import PPOConfig, RNDConfig
+from repro.store import RunStore, store_key
 from repro.systems import BenchmarkSpec
 from repro.thermal import FastThermalModel, GridThermalSolver
 from repro.thermal.characterize import load_or_characterize
@@ -49,11 +50,15 @@ from repro.utils import get_logger
 
 __all__ = [
     "ExperimentBudget",
+    "arm_store_key",
+    "as_store",
+    "budget_store_payload",
     "build_evaluators",
     "method_arm_jobs",
     "prewarm_thermal_tables",
     "run_all_methods",
     "run_method_arm",
+    "spec_fingerprint",
 ]
 
 _logger = get_logger("experiments.runner")
@@ -110,6 +115,16 @@ class ExperimentBudget:
     # charges the HotSpot arm a fresh "run the HotSpot binary" cost per
     # lockstep step, which this experiment mode would remove.
     hotspot_reuse_factorization: bool = False
+    # Resume checkpoint cadences, active only when an arm runs against a
+    # run store (``--resume``): full trainer state every N epochs, full
+    # annealer state every N SA iterations.  Neither knob changes any
+    # result — a resumed arm is bitwise identical to an uninterrupted
+    # one — so they are excluded from the arm's store key.  Arms whose
+    # runs are not reproducible to begin with (wall-clock-limited or
+    # incremental-evaluator SA) run checkpoint-free and rely on
+    # result-level caching only.
+    rl_checkpoint_every: int = 5
+    sa_checkpoint_every: int = 50
 
     @classmethod
     def paper_scale(cls) -> "ExperimentBudget":
@@ -130,6 +145,93 @@ def _spec_sizes(spec: BenchmarkSpec) -> list:
         if chiplet.rotatable:
             sizes.append((chiplet.height, chiplet.width))
     return sizes
+
+
+# ----------------------------------------------------------------------
+# run-store keys
+# ----------------------------------------------------------------------
+
+ARM_JOB_KIND = "method_arm"
+
+#: Budget knobs that cannot change an arm's result and therefore must
+#: not invalidate its store key (checkpoint cadences only matter while
+#: a run is in flight; a resumed run is bitwise-identical regardless).
+_NON_SEMANTIC_BUDGET_FIELDS = ("rl_checkpoint_every", "sa_checkpoint_every")
+
+
+def spec_fingerprint(spec: BenchmarkSpec) -> dict:
+    """Content description of a benchmark for store-key hashing.
+
+    Everything that can change an arm's result is included: the full
+    die/netlist geometry and the thermal/reward calibration.  Free-form
+    metadata and display strings are not.
+    """
+    system = spec.system
+    return {
+        "name": spec.name,
+        "interposer": {
+            "width": system.interposer.width,
+            "height": system.interposer.height,
+            "min_spacing": system.interposer.min_spacing,
+        },
+        "chiplets": [
+            {
+                "name": c.name,
+                "width": c.width,
+                "height": c.height,
+                "power": c.power,
+                "rotatable": c.rotatable,
+            }
+            for c in system.chiplets
+        ],
+        "nets": [
+            {"src": n.src, "dst": n.dst, "wires": n.wires}
+            for n in system.nets
+        ],
+        "thermal": asdict(spec.thermal_config),
+        "reward": asdict(spec.reward_config),
+    }
+
+
+def budget_store_payload(budget: ExperimentBudget) -> dict:
+    """Budget fields that participate in store keys.
+
+    Shared by every keyed job family (method arms here, ablation
+    variants in :mod:`repro.experiments.ablations`) so "which budget
+    knobs invalidate cached results" has exactly one definition.
+    """
+    payload = asdict(budget)
+    for name in _NON_SEMANTIC_BUDGET_FIELDS:
+        payload.pop(name, None)
+    return payload
+
+
+def arm_store_key(
+    spec: BenchmarkSpec,
+    method: str,
+    budget: ExperimentBudget,
+    time_limited: bool = False,
+) -> str:
+    """Content-addressed store key of one (benchmark x method) arm.
+
+    Deterministic across processes and sessions — any worker resumes or
+    reuses any other worker's artifacts.  ``time_limited`` records
+    *whether* the arm runs under a wall-clock cap (the time-matched
+    ``TAP-2.5D*`` arm vs the same arm run unlimited in a
+    methods-subset sweep) — the two produce different results and must
+    not share a key.  The cap's *value* is deliberately excluded:
+    time-limited results are machine-dependent by nature, so a stored
+    result is preferred over re-measuring.
+    """
+    return store_key(
+        ARM_JOB_KIND,
+        {
+            "spec": spec_fingerprint(spec),
+            "method": method,
+            "budget": budget_store_payload(budget),
+            "time_limited": bool(time_limited),
+        },
+    )
 
 
 def prewarm_thermal_tables(
@@ -185,7 +287,9 @@ def build_evaluators(spec: BenchmarkSpec, budget: ExperimentBudget, cache_dir=No
     }
 
 
-def _run_rl(spec, reward_calculator, budget, use_rnd: bool) -> MethodResult:
+def _run_rl(
+    spec, reward_calculator, budget, use_rnd: bool, resume=None
+) -> MethodResult:
     env = FloorplanEnv(
         spec.system,
         reward_calculator,
@@ -202,9 +306,24 @@ def _run_rl(spec, reward_calculator, budget, use_rnd: bool) -> MethodResult:
             rnd=RNDConfig(bonus_scale=0.5),
             ppo=PPOConfig(),
             log_every=0,
+            checkpoint_every=(
+                budget.rl_checkpoint_every if resume is not None else 0
+            ),
         ),
     )
-    result = trainer.train()
+    checkpoint_fn = None
+    if resume is not None:
+        state = resume.load()
+        if state is not None:
+            _logger.info(
+                "%s: resuming from epoch %d/%d",
+                spec.name,
+                state["progress"]["epochs_run"],
+                budget.rl_epochs,
+            )
+            trainer.load_state_dict(state)
+        checkpoint_fn = resume.save
+    result = trainer.train(checkpoint_fn=checkpoint_fn)
     breakdown = result.best_breakdown
     method = "RLPlanner(RND)" if use_rnd else "RLPlanner"
     if breakdown is None:
@@ -237,8 +356,33 @@ def _run_rl(spec, reward_calculator, budget, use_rnd: bool) -> MethodResult:
     )
 
 
+class _ResumeSlot:
+    """One arm's checkpoint slot in the run store.
+
+    Thin handle passed down into the trainer/annealer layers so they
+    stay ignorant of store keys: ``load`` returns the latest in-flight
+    snapshot (or ``None``), ``save`` overwrites it atomically, and
+    ``clear`` drops it once the arm publishes a final result.
+    """
+
+    __slots__ = ("store", "key")
+
+    def __init__(self, store: RunStore, key: str):
+        self.store = store
+        self.key = key
+
+    def load(self):
+        return self.store.load_checkpoint(self.key)
+
+    def save(self, payload) -> None:
+        self.store.save_checkpoint(self.key, payload)
+
+    def clear(self) -> None:
+        self.store.clear_checkpoint(self.key)
+
+
 def _run_sa(
-    spec, reward_calculator, budget, variant: str, time_limit=None
+    spec, reward_calculator, budget, variant: str, time_limit=None, resume=None
 ) -> MethodResult:
     if variant == "TAP-2.5D(HotSpot)":
         # The grid solver's multi-RHS path solves every chain's
@@ -266,15 +410,64 @@ def _run_sa(
                 spec.name,
                 n_chains,
             )
+    if incremental and resume is not None:
+        # The incremental delta evaluator carries accumulated running
+        # sums (with its own documented ~1e-12 drift and refresh phase)
+        # that an SA snapshot does not capture: a resumed leg would
+        # rebuild drift-free state and could flip a borderline
+        # Metropolis decision.  Rather than break the bitwise-resume
+        # guarantee, this arm runs checkpoint-free — the store still
+        # skips it entirely once its result is published.
+        _logger.warning(
+            "%s: %s runs with the incremental evaluator; in-flight "
+            "checkpoint/resume is disabled for it (its delta state is "
+            "not bitwise-snapshottable) — an interrupted arm restarts "
+            "from scratch, a completed arm is still skipped via the "
+            "run store",
+            spec.name,
+            variant,
+        )
+        resume = None
+    if time_limit is not None and resume is not None:
+        # A wall-clock-limited anneal stops at a scheduling-noise-
+        # dependent iteration, so no run of it — resumed or not — is
+        # reproducible; resuming one mid-flight would additionally mix
+        # two machines' clocks.  Keep the bitwise-resume invariant
+        # clean: the arm runs checkpoint-free (restarting costs at
+        # most its time limit) and is still skipped once published.
+        _logger.info(
+            "%s: %s is wall-clock-limited; running checkpoint-free "
+            "(an interrupted arm restarts, a completed arm is skipped "
+            "via the run store)",
+            spec.name,
+            variant,
+        )
+        resume = None
     config = TAP25DConfig(
         n_iterations=n_iterations,
         time_limit=time_limit,
         seed=budget.seed,
         n_chains=n_chains,
         incremental=incremental,
+        checkpoint_every=(
+            budget.sa_checkpoint_every if resume is not None else 0
+        ),
     )
     placer = TAP25DPlacer(spec.system, reward_calculator, config)
-    result = placer.run()
+    resume_state = None
+    checkpoint_fn = None
+    if resume is not None:
+        resume_state = resume.load()
+        if resume_state is not None:
+            _logger.info(
+                "%s: %s resuming from iteration %d/%d",
+                spec.name,
+                variant,
+                resume_state["iteration"],
+                n_iterations,
+            )
+        checkpoint_fn = resume.save
+    result = placer.run(resume_state=resume_state, checkpoint_fn=checkpoint_fn)
     return MethodResult(
         system=spec.name,
         method=variant,
@@ -293,6 +486,7 @@ def run_method_arm(
     cache_dir=None,
     time_limit=None,
     time_matched=None,
+    store_dir=None,
 ) -> MethodResult:
     """One standalone (benchmark x method) arm — the scheduler's job unit.
 
@@ -302,16 +496,67 @@ def run_method_arm(
     worker at any time.  ``time_limit`` carries the measured RL runtime
     into the wall-clock-matched fast-SA arm; ``time_matched`` is
     recorded into the result's ``extra`` for audit.
+
+    ``store_dir`` makes the arm durable: a published result under the
+    arm's content-addressed key short-circuits the whole run (belt and
+    suspenders — the scheduler already skips keyed jobs with published
+    results), an in-flight checkpoint resumes the interrupted run
+    bitwise, and the trainer/annealer snapshot their full state into
+    the store at the budget's checkpoint cadence while running.
     """
+    resume = None
+    store = None
+    key = None
+    if store_dir is not None:
+        store = RunStore(store_dir)
+        key = arm_store_key(
+            spec,
+            method,
+            budget,
+            time_limited=time_limit is not None or bool(time_matched),
+        )
+        hit, cached = store.fetch(key)
+        if hit:
+            _logger.info("%s: %s already in run store", spec.name, method)
+            return cached
+        resume = _ResumeSlot(store, key)
     _logger.info("%s: %s", spec.name, method)
+    result = _dispatch_method_arm(
+        spec, method, budget, cache_dir, time_limit, time_matched, resume
+    )
+    if store is not None:
+        # Publish from the worker too (the scheduler re-publishes the
+        # same bytes in the parent): the result survives even if the
+        # parent dies between the arm finishing and collecting it.
+        # Publish strictly BEFORE clearing the in-flight checkpoint —
+        # a kill between the two then costs at most a redundant
+        # checkpoint file, never the completed arm's work.
+        store.put(key, result)
+        store.clear_checkpoint(key)
+    return result
+
+
+def _dispatch_method_arm(
+    spec, method, budget, cache_dir, time_limit, time_matched, resume
+) -> MethodResult:
     evaluators = build_evaluators(spec, budget, cache_dir)
     if method == "RLPlanner":
-        return _run_rl(spec, evaluators["reward_fast"], budget, use_rnd=False)
+        return _run_rl(
+            spec, evaluators["reward_fast"], budget, use_rnd=False,
+            resume=resume,
+        )
     if method == "RLPlanner(RND)":
-        return _run_rl(spec, evaluators["reward_fast"], budget, use_rnd=True)
+        return _run_rl(
+            spec, evaluators["reward_fast"], budget, use_rnd=True,
+            resume=resume,
+        )
     if method == "TAP-2.5D(HotSpot)":
         return _run_sa(
-            spec, evaluators["reward_solver"], budget, "TAP-2.5D(HotSpot)"
+            spec,
+            evaluators["reward_solver"],
+            budget,
+            "TAP-2.5D(HotSpot)",
+            resume=resume,
         )
     if method == "TAP-2.5D*(FastThermal)":
         result = _run_sa(
@@ -320,6 +565,7 @@ def run_method_arm(
             budget,
             "TAP-2.5D*(FastThermal)",
             time_limit=time_limit,
+            resume=resume,
         )
         if time_matched is not None:
             result.extra["time_matched"] = bool(time_matched)
@@ -338,11 +584,19 @@ def arm_job_id(spec_name: str, method: str) -> str:
     return f"{spec_name}/{method}"
 
 
+def as_store(store) -> RunStore | None:
+    """Normalize a store argument: ``None``, a path, or a RunStore."""
+    if store is None or isinstance(store, RunStore):
+        return store
+    return RunStore(store)
+
+
 def method_arm_jobs(
     spec: BenchmarkSpec,
     budget: ExperimentBudget,
     cache_dir=None,
     methods: tuple = METHOD_ORDER,
+    store=None,
 ) -> list:
     """Job specs for one benchmark: prewarm + one job per method arm.
 
@@ -353,24 +607,29 @@ def method_arm_jobs(
     ``budget.sa_time_matched`` is on.  If time matching is requested but
     no RL arm is scheduled, the arm runs without a time limit — loudly,
     and flagged ``time_matched: False`` in its result ``extra``.
+
+    With a run ``store`` each arm job also carries its content-addressed
+    ``store_key`` (so the scheduler skips published arms) and the store
+    root (so the worker checkpoints/resumes in-flight state).  The
+    prewarm job stays unkeyed — the thermal-table cache is already
+    durable on its own — and is dropped entirely when every arm's
+    result is already published, so a fully cached sweep does zero
+    characterization work.
     """
     ordered = [m for m in METHOD_ORDER if m in methods]
     unknown = set(methods) - set(METHOD_ORDER)
     if unknown:
         raise ValueError(f"unknown methods {sorted(unknown)!r}")
+    store = as_store(store)
     prewarm_id = f"{spec.name}/prewarm"
-    jobs = [
-        JobSpec(
-            job_id=prewarm_id,
-            fn=prewarm_thermal_tables,
-            kwargs=dict(spec=spec, budget=budget, cache_dir=cache_dir),
-        )
-    ]
+    jobs = []
     rl_dep = next((m for m in METHOD_ORDER[:2] if m in ordered), None)
     for method in ordered:
         kwargs = dict(
             spec=spec, method=method, budget=budget, cache_dir=cache_dir
         )
+        if store is not None:
+            kwargs["store_dir"] = store.root
         needs = (prewarm_id,)
         inject = None
         if method == "TAP-2.5D*(FastThermal)" and budget.sa_time_matched:
@@ -401,9 +660,39 @@ def method_arm_jobs(
                 kwargs=kwargs,
                 needs=needs,
                 inject=inject,
+                # Mirrors the worker-side key in run_method_arm: the
+                # time-matched arm's limit arrives by injection, but
+                # whether it WILL be limited is known here.
+                store_key=(
+                    arm_store_key(
+                        spec,
+                        method,
+                        budget,
+                        time_limited=bool(kwargs.get("time_matched")),
+                    )
+                    if store is not None
+                    else None
+                ),
             )
         )
-    return jobs
+    if store is not None and all(
+        job.store_key is not None and store.contains(job.store_key)
+        for job in jobs
+    ):
+        # Every arm is already published: don't pay for thermal
+        # characterization no one will consume.  Arms keep only their
+        # non-prewarm edges (they load tables themselves in the — here
+        # unreachable — event a result vanishes before dispatch).
+        for job in jobs:
+            job.needs = tuple(dep for dep in job.needs if dep != prewarm_id)
+        return jobs
+    return [
+        JobSpec(
+            job_id=prewarm_id,
+            fn=prewarm_thermal_tables,
+            kwargs=dict(spec=spec, budget=budget, cache_dir=cache_dir),
+        )
+    ] + jobs
 
 
 def collect_arm_results(outcome: dict, spec_name: str, methods: tuple) -> list:
@@ -421,14 +710,21 @@ def run_all_methods(
     cache_dir=None,
     methods: tuple = METHOD_ORDER,
     jobs: int = 1,
+    store=None,
 ) -> list:
     """Run the requested methods on one benchmark; returns MethodResults.
 
     ``jobs=1`` (default) preserves the sequential harness bit for bit;
     ``jobs=N`` fans the independent arms over a process pool (the
     time-matched arm still waits for the RL arm it is matched to).
+    ``store`` (a :class:`~repro.store.RunStore` or its root path) makes
+    the run resumable: published arms are skipped, in-flight arms
+    restart from their latest checkpoint.
     """
     budget = budget or ExperimentBudget()
-    job_specs = method_arm_jobs(spec, budget, cache_dir=cache_dir, methods=methods)
-    outcome = run_jobs(job_specs, jobs=jobs)
+    store = as_store(store)
+    job_specs = method_arm_jobs(
+        spec, budget, cache_dir=cache_dir, methods=methods, store=store
+    )
+    outcome = run_jobs(job_specs, jobs=jobs, store=store)
     return collect_arm_results(outcome, spec.name, methods)

@@ -6,6 +6,7 @@ from repro.experiments.report import format_comparison, format_table
 from repro.experiments.runner import (
     METHOD_ORDER,
     ExperimentBudget,
+    as_store,
     collect_arm_results,
     method_arm_jobs,
 )
@@ -26,6 +27,7 @@ def run_table1(
     cache_dir=None,
     verbose: bool = True,
     jobs: int = 1,
+    store=None,
 ) -> list:
     """Regenerate Table I; returns a flat list of MethodResults.
 
@@ -35,13 +37,18 @@ def run_table1(
     characterization prewarms) over N worker processes.  Results are
     identical at any ``jobs`` — arms are self-seeded and the
     time-matched arm keeps its dependency on the measured RL runtime.
+    ``store`` makes the sweep resumable: published arms are skipped,
+    interrupted arms restart from their latest checkpoint.
     """
     budget = budget or ExperimentBudget()
+    store = as_store(store)
     specs = [get_benchmark(name) for name in systems]
     job_specs = []
     for spec in specs:
-        job_specs.extend(method_arm_jobs(spec, budget, cache_dir=cache_dir))
-    outcome = run_jobs(job_specs, jobs=jobs)
+        job_specs.extend(
+            method_arm_jobs(spec, budget, cache_dir=cache_dir, store=store)
+        )
+    outcome = run_jobs(job_specs, jobs=jobs, store=store)
     all_results = []
     for spec in specs:
         results = collect_arm_results(outcome, spec.name, METHOD_ORDER)

@@ -18,11 +18,12 @@ identical** to the sequential run at any worker count.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
-from repro.experiments.runner import DEFAULT_CACHE_DIR
+from repro.experiments.runner import DEFAULT_CACHE_DIR, as_store
 from repro.parallel import JobSpec, run_jobs
+from repro.store import store_key
 from repro.systems.synthetic import (
     DATASET_INTERPOSER,
     DATASET_SIZES,
@@ -139,6 +140,29 @@ def _chunk_ranges(n: int, chunks: int) -> list:
     return ranges
 
 
+#: Target shard size (dataset systems per chunk) when a run store is
+#: active: the chunk count becomes ``ceil(n_systems / 25)`` — a
+#: function of ``n_systems`` alone, never of ``jobs`` — so chunk
+#: boundaries, and therefore shard store keys, are stable across
+#: resumes at any worker count.  (``_chunk_ranges`` balances the
+#: chunks near-equally, so actual sizes are <= 25, not exactly 25.)
+_STORE_CHUNK_SIZE = 25
+
+
+def _chunk_store_key(start, stop, seed, config, position_samples) -> str:
+    """Content-addressed key of one dataset shard."""
+    return store_key(
+        "table2_chunk",
+        {
+            "start": start,
+            "stop": stop,
+            "seed": seed,
+            "thermal": asdict(config),
+            "position_samples": tuple(position_samples),
+        },
+    )
+
+
 def run_table2(
     n_systems: int = 300,
     seed: int = 7,
@@ -146,6 +170,7 @@ def run_table2(
     cache_dir=None,
     position_samples: tuple = (7, 7),
     jobs: int = 1,
+    store=None,
 ) -> Table2Result:
     """Regenerate Table II on ``n_systems`` random systems.
 
@@ -155,15 +180,27 @@ def run_table2(
     Predictions/references (and therefore every accuracy metric) are
     bitwise identical either way; only the per-eval timings — wall
     clock, never deterministic — vary.
+
+    ``store`` makes the sweep resumable: every shard publishes its
+    chunk under a content-addressed key and a re-run skips published
+    shards.  With a store the chunk count is derived from
+    ``n_systems`` alone (``ceil(n / _STORE_CHUNK_SIZE)``, regardless of
+    ``jobs`` — even at ``jobs=1``), so chunk boundaries and their keys
+    are stable when a sweep is resumed at a different worker count.
+    Cached chunks
+    carry the *original* run's wall-clock timings; the accuracy
+    metrics are bitwise reproducible, the ms/eval figures are not
+    re-measured.
     """
     config = thermal_config or ThermalConfig(r_convection=0.12)
     cache_dir = DEFAULT_CACHE_DIR if cache_dir is None else Path(cache_dir)
+    store = as_store(store)
 
     t0 = time.perf_counter()
     tables = _dataset_tables(config, position_samples, cache_dir)
     characterization_time = time.perf_counter() - t0
 
-    if jobs <= 1:
+    if jobs <= 1 and store is None:
         fast_model = FastThermalModel(tables, config)
         # Fresh factorization per evaluation mirrors a HotSpot run's cost.
         solver = GridThermalSolver(DATASET_INTERPOSER, config)
@@ -194,10 +231,22 @@ def run_table2(
                     position_samples=position_samples,
                     cache_dir=cache_dir,
                 ),
+                store_key=(
+                    _chunk_store_key(
+                        start, stop, seed, config, position_samples
+                    )
+                    if store is not None
+                    else None
+                ),
             )
-            for start, stop in _chunk_ranges(n_systems, jobs)
+            for start, stop in _chunk_ranges(
+                n_systems,
+                -(-n_systems // _STORE_CHUNK_SIZE)  # ceil division
+                if store is not None
+                else max(jobs, 1),
+            )
         ]
-        outcome = run_jobs(specs, jobs=jobs)
+        outcome = run_jobs(specs, jobs=max(jobs, 1), store=store)
         predictions, references = [], []
         solver_time = fast_time = 0.0
         for spec in specs:  # submission order == index order

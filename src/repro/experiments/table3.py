@@ -13,6 +13,7 @@ from repro.experiments.report import format_comparison, format_table
 from repro.experiments.runner import (
     METHOD_ORDER,
     ExperimentBudget,
+    as_store,
     collect_arm_results,
     method_arm_jobs,
 )
@@ -62,20 +63,24 @@ def run_table3(
     cache_dir=None,
     verbose: bool = True,
     jobs: int = 1,
+    store=None,
 ) -> list:
     """Regenerate Table III; returns a flat list of MethodResults.
 
     Like :func:`~repro.experiments.table1.run_table1`, all (case x
     method) arms go through one scheduler graph: ``jobs=1`` is the
     bit-exact sequential order, ``jobs=N`` fans independent arms over a
-    worker pool.
+    worker pool, and ``store`` makes the sweep resumable.
     """
     budget = budget or ExperimentBudget()
+    store = as_store(store)
     specs = [get_benchmark(f"synthetic{case}") for case in cases]
     job_specs = []
     for spec in specs:
-        job_specs.extend(method_arm_jobs(spec, budget, cache_dir=cache_dir))
-    outcome = run_jobs(job_specs, jobs=jobs)
+        job_specs.extend(
+            method_arm_jobs(spec, budget, cache_dir=cache_dir, store=store)
+        )
+    outcome = run_jobs(job_specs, jobs=jobs, store=store)
     all_results = []
     for spec in specs:
         results = collect_arm_results(outcome, spec.name, METHOD_ORDER)

@@ -20,7 +20,15 @@ from repro.nn.layers import (
 from repro.nn.optim import SGD, Adam, clip_grad_norm
 from repro.nn.distributions import MaskedCategorical
 from repro.nn.init import kaiming_uniform, orthogonal
-from repro.nn.serialization import load_state_dict, save_state_dict
+from repro.nn.serialization import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointSchemaError,
+    LegacyCheckpointError,
+    load_payload,
+    load_state_dict,
+    save_payload,
+    save_state_dict,
+)
 
 __all__ = [
     "Tensor",
@@ -40,4 +48,9 @@ __all__ = [
     "orthogonal",
     "save_state_dict",
     "load_state_dict",
+    "save_payload",
+    "load_payload",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointSchemaError",
+    "LegacyCheckpointError",
 ]

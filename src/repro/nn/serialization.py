@@ -1,12 +1,63 @@
-"""Checkpointing: module state dicts to/from ``.npz`` archives."""
+"""Checkpointing: state dicts and versioned payloads to/from ``.npz``.
+
+Two layers:
+
+* :func:`save_state_dict` / :func:`load_state_dict` — the original flat
+  ``{name: array}`` archive.  Still used for weight-only exports; a
+  file written this way carries **no** schema marker.
+* :func:`save_payload` / :func:`load_payload` — the versioned
+  checkpoint schema (``CHECKPOINT_SCHEMA_VERSION``).  A payload is an
+  arbitrarily nested dict whose leaves may be numpy arrays, JSON
+  scalars (int/float/bool/str/None — including the arbitrary-precision
+  integers inside ``bit_generator.state``), or any picklable object
+  (reward breakdowns, placements).  Arrays land natively in the
+  ``.npz``; everything else is described by a JSON ``__meta__`` tree
+  so floats and big ints round-trip **bitwise** (Python's JSON float
+  repr is shortest-exact, and its ints are unbounded).
+
+The split exists so resumable checkpoints can be told apart from legacy
+weight-only files: :func:`load_payload` raises
+:class:`LegacyCheckpointError` on an archive without ``__meta__``
+instead of silently resuming with reset optimizer/RNG state.
+"""
 
 from __future__ import annotations
 
+import json
+import pickle
 from pathlib import Path
 
 import numpy as np
 
-__all__ = ["save_state_dict", "load_state_dict"]
+from repro.parallel.cache import atomic_replace
+
+__all__ = [
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointSchemaError",
+    "LegacyCheckpointError",
+    "save_state_dict",
+    "load_state_dict",
+    "save_payload",
+    "load_payload",
+]
+
+#: Bump on any incompatible change to the payload layout or to what the
+#: trainer/annealer pack into their checkpoints.  Old files then fail
+#: loudly (``CheckpointSchemaError``) instead of resuming wrong.
+CHECKPOINT_SCHEMA_VERSION = 1
+
+_META_KEY = "__meta__"
+_FORMAT = "repro-checkpoint"
+
+
+class CheckpointSchemaError(RuntimeError):
+    """The checkpoint's schema version or kind does not match."""
+
+
+class LegacyCheckpointError(CheckpointSchemaError):
+    """A weight-only legacy archive was given where a full versioned
+    checkpoint is required (it has no optimizer/RNG payload to resume
+    from)."""
 
 
 def save_state_dict(state: dict, path) -> None:
@@ -18,3 +69,134 @@ def load_state_dict(path) -> dict:
     """Read a state dict previously written by :func:`save_state_dict`."""
     with np.load(Path(path)) as data:
         return {key: data[key].copy() for key in data.files}
+
+
+# ----------------------------------------------------------------------
+# versioned nested payloads
+# ----------------------------------------------------------------------
+
+_JSON_SCALARS = (bool, int, float, str, type(None))
+
+
+def _encode(value, arrays: dict):
+    """Encode ``value`` into a JSON-able tree, hoisting arrays out."""
+    if isinstance(value, np.ndarray):
+        slot = f"a{len(arrays)}"
+        arrays[slot] = value
+        return {"t": "array", "slot": slot}
+    if isinstance(value, np.generic):  # numpy scalar: keep dtype exactly
+        slot = f"a{len(arrays)}"
+        arrays[slot] = np.asarray(value)
+        return {"t": "scalar", "slot": slot}
+    if isinstance(value, _JSON_SCALARS):
+        return {"t": "json", "v": value}
+    if isinstance(value, dict):
+        items = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"payload dict keys must be str, got {type(key).__name__}"
+                )
+            items[key] = _encode(item, arrays)
+        return {"t": "dict", "items": items}
+    if isinstance(value, (list, tuple)):
+        return {
+            "t": "tuple" if isinstance(value, tuple) else "list",
+            "items": [_encode(item, arrays) for item in value],
+        }
+    # Anything else (placements, breakdowns, ...) rides along pickled.
+    slot = f"a{len(arrays)}"
+    arrays[slot] = np.frombuffer(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL), dtype=np.uint8
+    )
+    return {"t": "pickle", "slot": slot}
+
+
+def _decode(node, arrays: dict):
+    kind = node["t"]
+    if kind == "array":
+        return arrays[node["slot"]].copy()
+    if kind == "scalar":
+        return arrays[node["slot"]][()]
+    if kind == "json":
+        return node["v"]
+    if kind == "dict":
+        return {key: _decode(item, arrays) for key, item in node["items"].items()}
+    if kind == "list":
+        return [_decode(item, arrays) for item in node["items"]]
+    if kind == "tuple":
+        return tuple(_decode(item, arrays) for item in node["items"])
+    if kind == "pickle":
+        return pickle.loads(arrays[node["slot"]].tobytes())
+    raise CheckpointSchemaError(f"unknown payload node type {kind!r}")
+
+
+def save_payload(payload: dict, path, kind: str) -> None:
+    """Write a nested checkpoint payload to ``path`` (.npz).
+
+    ``kind`` names what the payload is (``"rlplanner-trainer"``,
+    ``"sa-engine"``, ...); :func:`load_payload` refuses to hand a
+    payload of one kind to a consumer expecting another.
+
+    The write is atomic (temp file + ``os.replace``): checkpoints are
+    typically overwritten in place, and a kill mid-write must corrupt
+    the *new* file, never the last good one.
+    """
+    arrays: dict = {}
+    tree = _encode(payload, arrays)
+    meta = {
+        "format": _FORMAT,
+        "version": CHECKPOINT_SCHEMA_VERSION,
+        "kind": kind,
+        "tree": tree,
+    }
+    arrays[_META_KEY] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    path = Path(path)
+    if not path.suffix:
+        path = path.with_suffix(".npz")  # np.savez would append it anyway
+    with atomic_replace(path, suffix=".npz") as tmp:
+        np.savez_compressed(tmp, **arrays)
+
+
+def load_payload(path, kind: str | None = None) -> dict:
+    """Read a payload written by :func:`save_payload`.
+
+    Raises
+    ------
+    LegacyCheckpointError
+        The file is a plain (weight-only) state-dict archive with no
+        schema marker — it cannot seed a bitwise resume.
+    CheckpointSchemaError
+        Schema version or ``kind`` mismatch.
+    """
+    path = Path(path)
+    with np.load(path) as data:
+        arrays = {key: data[key].copy() for key in data.files}
+    if _META_KEY not in arrays:
+        raise LegacyCheckpointError(
+            f"{path} is a legacy weight-only state dict (no {_META_KEY!r} "
+            "schema marker): it carries no optimizer, RNG or progress "
+            "state and cannot resume a run.  Re-save it with "
+            "save_payload / RLPlannerTrainer.save_checkpoint, or load "
+            "the raw weights explicitly via load_state_dict."
+        )
+    meta = json.loads(arrays.pop(_META_KEY).tobytes().decode("utf-8"))
+    if meta.get("format") != _FORMAT:
+        raise CheckpointSchemaError(
+            f"{path}: unrecognized checkpoint format {meta.get('format')!r}"
+        )
+    version = meta.get("version")
+    if version != CHECKPOINT_SCHEMA_VERSION:
+        raise CheckpointSchemaError(
+            f"{path}: checkpoint schema version {version} != supported "
+            f"{CHECKPOINT_SCHEMA_VERSION}; regenerate the checkpoint "
+            "(there is no in-place upgrade path)"
+        )
+    if kind is not None and meta.get("kind") != kind:
+        raise CheckpointSchemaError(
+            f"{path}: checkpoint kind {meta.get('kind')!r} != expected "
+            f"{kind!r}"
+        )
+    return _decode(meta["tree"], arrays)

@@ -17,6 +17,6 @@ them across a process pool:
 """
 
 from repro.parallel.cache import FileLock, atomic_replace
-from repro.parallel.scheduler import JobSpec, run_jobs
+from repro.parallel.scheduler import JobSpec, resolve_jobs, run_jobs
 
-__all__ = ["FileLock", "JobSpec", "atomic_replace", "run_jobs"]
+__all__ = ["FileLock", "JobSpec", "atomic_replace", "resolve_jobs", "run_jobs"]

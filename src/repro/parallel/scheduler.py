@@ -24,16 +24,27 @@ Job functions must be importable top-level callables and their kwargs
 picklable — the usual :mod:`multiprocessing` contract.  A failed job
 raises :class:`JobFailedError` in the parent (after cancelling what can
 still be cancelled) rather than silently dropping results.
+
+**Run-store integration.**  A spec may carry a ``store_key`` (a
+:func:`repro.store.store_key` digest).  When ``run_jobs`` is given a
+:class:`~repro.store.RunStore`, keyed jobs whose result is already
+published are *never scheduled*: the stored result enters the outcome
+mapping (and feeds dependents' ``inject`` hooks) directly, which is
+what makes re-running a completed sweep with ``--resume`` execute zero
+method-arm jobs.  Keyed jobs that do execute have their result
+published to the store on completion (in the parent, atomically).
+With ``store=None`` the scheduler behaves exactly as before.
 """
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 
 from repro.utils import get_logger
 
-__all__ = ["JobFailedError", "JobSpec", "run_jobs"]
+__all__ = ["JobFailedError", "JobSpec", "resolve_jobs", "run_jobs"]
 
 _logger = get_logger("parallel.scheduler")
 
@@ -71,6 +82,12 @@ class JobSpec:
         completed job ids to their results.  This is the only
         cross-job data channel; use :func:`functools.partial` to bind
         which dependency feeds which keyword.
+    store_key:
+        Optional content-addressed key in the run store.  When
+        ``run_jobs`` receives a store, a published result under this
+        key short-circuits the job entirely, and a freshly computed
+        result is published under it.  ``None`` (default) opts the job
+        out of the store.
     """
 
     job_id: str
@@ -78,6 +95,7 @@ class JobSpec:
     kwargs: dict = field(default_factory=dict)
     needs: tuple = ()
     inject: object = None
+    store_key: str | None = None
 
     def resolved_kwargs(self, done: dict) -> dict:
         kwargs = dict(self.kwargs)
@@ -100,13 +118,45 @@ def _validate(specs: list) -> None:
         seen.add(spec.job_id)
 
 
-def run_jobs(specs, jobs: int = 1) -> dict:
+def resolve_jobs(value) -> int:
+    """Parse a ``--jobs`` value: a positive integer or ``"auto"``.
+
+    ``"auto"`` resolves to the CPUs actually available to this process
+    (``os.process_cpu_count`` where it exists — Python >= 3.13 — and
+    the scheduling affinity / ``os.cpu_count`` before that), never less
+    than 1.
+    """
+    if isinstance(value, int):
+        jobs = value
+    else:
+        text = str(value).strip().lower()
+        if text == "auto":
+            counter = getattr(os, "process_cpu_count", None)
+            if counter is not None:
+                jobs = counter()
+            else:
+                try:
+                    jobs = len(os.sched_getaffinity(0))
+                except (AttributeError, OSError):
+                    jobs = os.cpu_count()
+            return max(int(jobs or 1), 1)
+        jobs = int(text)  # ValueError on garbage, as argparse expects
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1 (or 'auto')")
+    return jobs
+
+
+def run_jobs(specs, jobs: int = 1, store=None) -> dict:
     """Execute ``specs``; return ``{job_id: result}`` in submission order.
 
     ``jobs=1`` runs in process and in submission order — the bit-exact
     sequential path.  ``jobs>1`` dispatches every dependency-free job to
     a pool of that many worker processes and releases dependents as
     their ``needs`` complete.
+
+    ``store`` (a :class:`repro.store.RunStore`) makes keyed jobs
+    resumable: published results are returned without executing the
+    job, and newly computed results are published.
     """
     specs = list(specs)
     if jobs < 1:
@@ -114,20 +164,38 @@ def run_jobs(specs, jobs: int = 1) -> dict:
     _validate(specs)
     if not specs:
         return {}
-    if jobs == 1:
-        return _run_sequential(specs)
-    return _run_pooled(specs, jobs)
-
-
-def _run_sequential(specs: list) -> dict:
     done: dict = {}
+    pending = specs
+    if store is not None:
+        pending = []
+        for spec in specs:
+            if spec.store_key is not None:
+                hit, value = store.fetch(spec.store_key)
+                if hit:
+                    _logger.info("store hit, skipping %s", spec.job_id)
+                    done[spec.job_id] = value
+                    continue
+            pending.append(spec)
+    if jobs == 1:
+        _run_sequential(pending, done, store)
+    else:
+        _run_pooled(pending, jobs, done, store)
+    return {spec.job_id: done[spec.job_id] for spec in specs}
+
+
+def _publish(store, spec: JobSpec, result) -> None:
+    if store is not None and spec.store_key is not None:
+        store.put(spec.store_key, result)
+
+
+def _run_sequential(specs: list, done: dict, store=None) -> None:
     for spec in specs:
         done[spec.job_id] = spec.fn(**spec.resolved_kwargs(done))
-    return done
+        _publish(store, spec, done[spec.job_id])
 
 
-def _run_pooled(specs: list, jobs: int) -> dict:
-    done: dict = {}
+def _run_pooled(specs: list, jobs: int, done: dict, store=None) -> None:
+    by_id = {spec.job_id: spec for spec in specs}
     waiting = list(specs)
     futures = {}  # future -> job_id
     with ProcessPoolExecutor(max_workers=jobs) as pool:
@@ -153,11 +221,10 @@ def _run_pooled(specs: list, jobs: int) -> dict:
                         pending.cancel()
                     raise JobFailedError(job_id, error)
                 done[job_id] = future.result()
+                _publish(store, by_id[job_id], done[job_id])
             dispatch_ready()
     if waiting:  # unreachable given _validate, kept as a tripwire
         raise RuntimeError(
             f"{len(waiting)} jobs never became ready: "
             f"{[spec.job_id for spec in waiting]}"
         )
-    # Submission order, not completion order.
-    return {spec.job_id: done[spec.job_id] for spec in specs}

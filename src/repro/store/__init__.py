@@ -1,0 +1,15 @@
+"""Run-store subsystem: content-addressed results + resume checkpoints."""
+
+from repro.store.runstore import (
+    DEFAULT_STORE_DIR,
+    STORE_SCHEMA_VERSION,
+    RunStore,
+    store_key,
+)
+
+__all__ = [
+    "DEFAULT_STORE_DIR",
+    "STORE_SCHEMA_VERSION",
+    "RunStore",
+    "store_key",
+]

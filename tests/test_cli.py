@@ -69,6 +69,34 @@ class TestBudgetConstruction:
         assert captured["budget"].rollout_batch_size == 8
         assert captured["budget"].sa_chains == 4
 
+    def test_jobs_auto_resolves_to_cpu_count(self, monkeypatch, fake_results):
+        captured = {}
+
+        def fake_run_table1(budget, jobs=1, store=None):
+            captured["jobs"] = jobs
+            captured["store"] = store
+            return fake_results
+
+        monkeypatch.setattr(cli, "run_table1", fake_run_table1)
+        cli.main(["table1", "--jobs", "auto"])
+        assert isinstance(captured["jobs"], int)
+        assert captured["jobs"] >= 1
+        assert captured["store"] is None  # no --resume, no store
+
+    def test_resume_builds_store(self, monkeypatch, fake_results, tmp_path):
+        captured = {}
+
+        def fake_run_table1(budget, jobs=1, store=None):
+            captured["store"] = store
+            return fake_results
+
+        monkeypatch.setattr(cli, "run_table1", fake_run_table1)
+        cli.main(
+            ["table1", "--resume", "--store-dir", str(tmp_path / "rs")]
+        )
+        assert captured["store"] is not None
+        assert captured["store"].root == tmp_path / "rs"
+
     def test_sequential_engines_still_selectable(
         self, monkeypatch, fake_results
     ):
@@ -149,8 +177,9 @@ class TestCommands:
 
         captured = {}
 
-        def fake_run_table2(n_systems, seed, jobs=1):
+        def fake_run_table2(n_systems, seed, jobs=1, store=None):
             captured["jobs"] = jobs
+            captured["store"] = store
             return FakeResult()
 
         monkeypatch.setattr(cli, "run_table2", fake_run_table2)
@@ -193,5 +222,12 @@ class TestCommands:
         ]
 
     def test_ablations_dispatch(self, monkeypatch, fake_results):
-        monkeypatch.setattr(cli, "run_ablations", lambda budget: fake_results)
-        assert cli.main(["ablations"]) == 0
+        captured = {}
+
+        def fake_run_ablations(budget, jobs=1, store=None):
+            captured["jobs"] = jobs
+            return fake_results
+
+        monkeypatch.setattr(cli, "run_ablations", fake_run_ablations)
+        assert cli.main(["ablations", "--jobs", "2"]) == 0
+        assert captured["jobs"] == 2
