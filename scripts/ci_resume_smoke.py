@@ -17,6 +17,11 @@ sweep dies mid-flight would:
 4. **Re-run** — invoke the finished sweep once more with ``--resume``
    and assert *no* store artifact changes at all: a completed sweep
    re-executes zero method-arm jobs.
+5. **Ctrl-C** — repeat interrupt+resume with SIGINT instead of SIGKILL
+   (sent to the parent only, exactly like a terminal Ctrl-C): the
+   scheduler must tear its worker pool down promptly instead of
+   blocking on in-flight arms or leaving orphans, and the store it
+   leaves behind must resume to the same reference tables.
 
 Exit code 0 = all assertions hold.  Designed to be fast (~1-2 min) and
 deterministic on noisy CI hosts; if the interrupted run finishes before
@@ -106,10 +111,19 @@ def snapshot_results(store: Path) -> dict:
     return results
 
 
-def interrupt_mid_sweep(store: Path, out: Path, jobs: int, env: dict) -> bool:
-    """Start the sweep and SIGKILL its process group mid-flight.
+def interrupt_mid_sweep(
+    store: Path, out: Path, jobs: int, env: dict, sig=signal.SIGKILL
+) -> bool:
+    """Start the sweep and interrupt it mid-flight with ``sig``.
 
-    Returns True when the kill landed before the sweep finished.
+    ``SIGKILL`` goes to the whole process group (hard machine-death
+    simulation).  ``SIGINT`` goes to the parent process only — exactly
+    what a terminal Ctrl-C delivers to a foreground job leader — so the
+    sweep itself is responsible for tearing down its pool workers; if
+    it fails to exit within the grace period the group is SIGKILLed and
+    the orphan-cleanup bug would surface here as a timeout escalation.
+
+    Returns True when the interrupt landed before the sweep finished.
     """
     proc = subprocess.Popen(
         sweep_command(store, out, jobs),
@@ -121,20 +135,35 @@ def interrupt_mid_sweep(store: Path, out: Path, jobs: int, env: dict) -> bool:
     try:
         while time.monotonic() < deadline:
             if proc.poll() is not None:
-                print("NOTE: sweep finished before the kill landed")
+                print("NOTE: sweep finished before the interrupt landed")
                 return False
             if snapshot_results(store):
                 # At least one arm is published; a later arm is now (or
                 # will shortly be) in flight.  Let it make some progress
-                # past its first checkpoint, then kill everything.
+                # past its first checkpoint, then interrupt everything.
                 time.sleep(1.0)
                 break
             time.sleep(0.1)
         if proc.poll() is not None:
-            print("NOTE: sweep finished before the kill landed")
+            print("NOTE: sweep finished before the interrupt landed")
             return False
-        os.killpg(proc.pid, signal.SIGKILL)
-        proc.wait(timeout=60)
+        if sig == signal.SIGINT:
+            proc.send_signal(signal.SIGINT)
+            try:
+                proc.wait(timeout=60)
+            except subprocess.TimeoutExpired:
+                os.killpg(proc.pid, signal.SIGKILL)
+                proc.wait(timeout=60)
+                raise AssertionError(
+                    "sweep did not exit within 60 s of SIGINT (pool "
+                    "shutdown is blocking on in-flight jobs?)"
+                )
+        else:
+            os.killpg(proc.pid, sig)
+            proc.wait(timeout=60)
+        assert proc.returncode != 0, (
+            "interrupted sweep exited 0 — the interrupt was swallowed"
+        )
         return True
     finally:
         if proc.poll() is None:  # pragma: no cover - cleanup on errors
@@ -214,6 +243,33 @@ def main(argv=None) -> int:
     )
     assert load_table_rows(workdir / "rerun_out") == reference
     print("OK: completed sweep re-executed zero method-arm jobs")
+
+    print("\n=== Ctrl-C interrupted sweep (SIGINT) ===")
+    int_store = workdir / "sigint_store"
+    interrupt_mid_sweep(
+        int_store, workdir / "sigint_out", args.jobs, env, sig=signal.SIGINT
+    )
+    published_at_interrupt = snapshot_results(int_store)
+    print(f"{len(published_at_interrupt)} arms published before the Ctrl-C")
+
+    print("\n=== resume after Ctrl-C ===")
+    run_sweep(int_store, workdir / "sigint_resumed_out", args.jobs, env)
+    after_sigint_resume = snapshot_results(int_store)
+    for rel, stamp in published_at_interrupt.items():
+        assert after_sigint_resume.get(rel) == stamp, (
+            f"completed arm re-executed or rewritten on resume: {rel}"
+        )
+    sigint_resumed = load_table_rows(workdir / "sigint_resumed_out")
+    assert sigint_resumed.keys() == reference.keys()
+    for arm, expected in reference.items():
+        assert sigint_resumed[arm] == expected, (
+            f"{arm}: post-Ctrl-C resume {sigint_resumed[arm]} != "
+            f"reference {expected}"
+        )
+    print(
+        f"OK: Ctrl-C left a recoverable store; all {len(reference)} arms "
+        "match the uninterrupted run exactly"
+    )
 
     print("\nresume smoke: PASS")
     return 0

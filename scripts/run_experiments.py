@@ -49,6 +49,14 @@ def parse_args(argv=None):
         help="rollout batch width for RL collection (1 = sequential)",
     )
     parser.add_argument(
+        "--collect-jobs",
+        type=resolve_jobs,
+        default=1,
+        help="worker processes for episode collection within each RL "
+        "arm ('auto' = available CPUs); bitwise identical at any "
+        "count, needs --batch-size >= 2 to take effect",
+    )
+    parser.add_argument(
         "--sa-chains",
         type=int,
         default=16,
@@ -134,6 +142,7 @@ def build_budget(args) -> ExperimentBudget:
         grid_size=args.grid,
         sa_iterations_hotspot=args.sa_iters,
         rollout_batch_size=args.batch_size,
+        collect_jobs=args.collect_jobs,
         sa_chains=args.sa_chains,
         position_samples=(args.positions, args.positions),
         sa_time_matched=not args.no_time_match,

@@ -16,6 +16,15 @@ Episode collection has two engines selected by ``TrainerConfig.batch_size``:
   batched actor-critic forward per step.  Each episode samples from its
   own derived RNG stream, so trajectories are invariant to the batch
   width (any ``batch_size >= 2`` yields identical results).
+
+On top of the batched engine, ``TrainerConfig.collect_jobs`` shards an
+epoch's collection across a persistent worker pool
+(:class:`~repro.parallel.collector.EpisodeCollector`): weights are
+broadcast once per epoch, each worker collects a contiguous slice of
+episode indices on the exact same ``episode.{index}`` streams, and the
+slices merge back in index order — so ``collect_jobs=N`` training is
+bitwise identical to ``collect_jobs=1`` (regression-pinned), the knob
+trades only wall-clock.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ import numpy as np
 from repro.agent.networks import ActorCritic
 from repro.env import BatchedFloorplanEnv, FloorplanEnv
 from repro.nn import Adam, load_payload, save_payload
+from repro.parallel.collector import EpisodeCollector, collect_slice
 from repro.rl import (
     Episode,
     PPOConfig,
@@ -66,6 +76,14 @@ class TrainerConfig:
     # identical for ANY batch_size >= 2 (8 and 16 give the same result,
     # just at different speed).
     batch_size: int = 1
+    # Worker processes for episode collection.  1 = collect in-process.
+    # >1 = shard each epoch's episodes over a persistent process pool:
+    # weights broadcast once per epoch, contiguous index slices per
+    # worker, merged in index order — bitwise identical to in-process
+    # collection at any worker count.  Requires the batched engine;
+    # with ``batch_size=1`` the trainer warns and collects in-process
+    # (the sequential engine's shared action stream cannot be sharded).
+    collect_jobs: int = 1
     gamma: float = 0.99
     gae_lambda: float = 0.95
     learning_rate: float = 3e-4
@@ -92,6 +110,8 @@ class TrainerConfig:
             raise ValueError("epochs and episodes_per_epoch must be >= 1")
         if self.batch_size < 1:
             raise ValueError("batch_size must be >= 1")
+        if self.collect_jobs < 1:
+            raise ValueError("collect_jobs must be >= 1")
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
 
@@ -111,6 +131,24 @@ class TrainingResult:
     @property
     def final_mean_reward(self) -> float:
         return self.history[-1]["mean_reward"] if self.history else float("nan")
+
+
+def _improves_best(
+    reward: float, episode: int, best_reward: float, best_episode: int
+) -> bool:
+    """Whether (reward, episode) beats the incumbent best placement.
+
+    Selection is explicitly (reward desc, episode index asc)-keyed:
+    a strictly better reward always wins, and an *equal* reward wins
+    only from an earlier global episode index.  Arrival order drops out
+    entirely, so sharded collection can never flip the reported best
+    placement — and under the in-order merge this reduces exactly to
+    the historical ``reward > best`` first-wins rule, keeping the
+    goldens bitwise.
+    """
+    if reward > best_reward:
+        return True
+    return reward == best_reward and episode < best_episode
 
 
 class RLPlannerTrainer:
@@ -157,6 +195,28 @@ class RLPlannerTrainer:
             self.batched_env = BatchedFloorplanEnv(
                 env.system, env.reward_calculator, env.config
             )
+        collect_jobs = self.config.collect_jobs
+        if collect_jobs > 1 and self.batched_env is None:
+            _logger.warning(
+                "collect_jobs=%d requested but batch_size=1 selects the "
+                "sequential engine, whose episodes share one action stream "
+                "and cannot be sharded bitwise; collecting in-process "
+                "instead (set batch_size >= 2 to distribute collection)",
+                collect_jobs,
+            )
+            collect_jobs = 1
+        self.collect_jobs = collect_jobs
+        self._collector: EpisodeCollector | None = None
+        if collect_jobs > 1:
+            self._collector = EpisodeCollector(
+                env.system,
+                env.reward_calculator,
+                env.config,
+                jobs=collect_jobs,
+                batch_size=self.config.batch_size,
+                seed=self.config.seed,
+                encoder_channels=self.config.encoder_channels,
+            )
         self._progress = self._fresh_progress()
 
     @staticmethod
@@ -164,6 +224,10 @@ class RLPlannerTrainer:
         return {
             "epochs_run": 0,
             "best_reward": -np.inf,
+            # Global index of the episode that produced the best
+            # placement (-1 = none yet): the selection tie-breaker that
+            # keeps "best" independent of episode arrival order.
+            "best_episode": -1,
             "best_breakdown": None,
             "best_placement": None,
             "deadlocks": 0,
@@ -199,59 +263,37 @@ class RLPlannerTrainer:
     def collect_episodes(self, n: int, greedy: bool = False) -> list:
         """Collect ``n`` episodes; returns ``[(Episode, info), ...]``.
 
-        Dispatches to the sequential path for ``batch_size=1`` and to
-        lockstep batched collection otherwise.
+        Dispatches to the sequential path for ``batch_size=1``, to the
+        in-process lockstep loop (:func:`~repro.parallel.collector.
+        collect_slice`) for ``collect_jobs=1``, and to the worker pool
+        otherwise.  All three advance the global episode counter, so
+        episode ``k`` of a run is the same episode everywhere.
         """
+        start_index = self._episode_index
+        self._episode_index += n
         if self.batched_env is None:
             return [self.collect_episode(greedy=greedy) for _ in range(n)]
-        collected = []
-        width = min(self.config.batch_size, n)
-        for start in range(0, n, width):
-            collected.extend(
-                self._collect_wave(min(width, n - start), greedy=greedy)
+        if self._collector is not None:
+            return self._collector.collect(
+                self.network, start_index, n, greedy=greedy
             )
-        return collected
+        return collect_slice(
+            self.network,
+            self.batched_env,
+            self._seeds,
+            start_index,
+            n,
+            self.config.batch_size,
+            greedy=greedy,
+        )
 
-    def _collect_wave(self, wave_n: int, greedy: bool) -> list:
-        """One lockstep wave of ``wave_n`` episodes through the batched env."""
-        rngs = [
-            self._seeds.rng(f"episode.{self._episode_index + k}")
-            for k in range(wave_n)
-        ]
-        self._episode_index += wave_n
-        episodes = [Episode() for _ in range(wave_n)]
-        infos: list = [{} for _ in range(wave_n)]
-        observations, masks = self.batched_env.reset(wave_n)
-        live = self.batched_env.live_indices
-        static_channels = self.batched_env.observation_builder.STATIC_CHANNELS
-        first_step = True
-        while len(live):
-            actions, log_probs, values = self.network.act_batch(
-                observations,
-                masks,
-                [rngs[i] for i in live],
-                greedy=greedy,
-                static_channels=static_channels,
-                # Right after a lockstep reset every row is identical, so
-                # the forward runs once and broadcasts.
-                shared_rows=first_step,
-            )
-            first_step = False
-            for row, index in enumerate(live):
-                episodes[index].add_step(
-                    observations[row],
-                    masks[row],
-                    int(actions[row]),
-                    float(log_probs[row]),
-                    float(values[row]),
-                )
-            result = self.batched_env.step(actions)
-            for index, reward, info in result.finished:
-                episodes[index].set_terminal_reward(reward)
-                infos[index] = info
-            observations, masks = result.observations, result.masks
-            live = result.live_indices
-        return list(zip(episodes, infos))
+    def close_collector(self) -> None:
+        """Release collection worker processes (no-op when in-process).
+
+        Idempotent; the pool respawns lazily if collection continues.
+        """
+        if self._collector is not None:
+            self._collector.close()
 
     def train(self, checkpoint_fn=None) -> TrainingResult:
         """Run the full training loop; returns the best floorplan found.
@@ -264,6 +306,7 @@ class RLPlannerTrainer:
         cfg = self.config
         progress = self._progress
         best_reward = progress["best_reward"]
+        best_episode = progress.get("best_episode", -1)
         best_breakdown = progress["best_breakdown"]
         best_placement = progress["best_placement"]
         deadlocks = progress["deadlocks"]
@@ -275,6 +318,40 @@ class RLPlannerTrainer:
         # whole run, not just the final leg.
         start = time.perf_counter() - progress["elapsed"]
 
+        try:
+            return self._train_loop(
+                checkpoint_fn,
+                start_epoch,
+                start,
+                best_reward,
+                best_episode,
+                best_breakdown,
+                best_placement,
+                deadlocks,
+                history,
+                epochs_run,
+            )
+        finally:
+            # Never strand collection workers behind a finished — or
+            # interrupted — trainer; the pool respawns lazily if train()
+            # is called again.
+            self.close_collector()
+
+    def _train_loop(
+        self,
+        checkpoint_fn,
+        start_epoch,
+        start,
+        best_reward,
+        best_episode,
+        best_breakdown,
+        best_placement,
+        deadlocks,
+        history,
+        epochs_run,
+    ) -> TrainingResult:
+        cfg = self.config
+        progress = self._progress
         for epoch in range(start_epoch, cfg.epochs):
             if (
                 cfg.time_limit is not None
@@ -292,13 +369,22 @@ class RLPlannerTrainer:
             buffer = RolloutBuffer(cfg.gamma, cfg.gae_lambda)
             rewards = []
             epoch_obs = []
-            for episode, info in self.collect_episodes(cfg.episodes_per_epoch):
+            # Global index of the epoch's first episode — captured
+            # before collection advances the counter, so position k in
+            # the merged list IS global episode epoch_base + k.
+            epoch_base = self._episode_index
+            collected = self.collect_episodes(cfg.episodes_per_epoch)
+            for position, (episode, info) in enumerate(collected):
                 rewards.append(episode.total_reward)
                 if info.get("deadlock"):
                     deadlocks += 1
                 breakdown = info.get("breakdown")
-                if breakdown is not None and breakdown.reward > best_reward:
+                episode_number = epoch_base + position
+                if breakdown is not None and _improves_best(
+                    breakdown.reward, episode_number, best_reward, best_episode
+                ):
                     best_reward = breakdown.reward
+                    best_episode = episode_number
                     best_breakdown = breakdown
                     best_placement = info["placement"]
                 intrinsic = None
@@ -324,6 +410,7 @@ class RLPlannerTrainer:
             progress.update(
                 epochs_run=epochs_run,
                 best_reward=best_reward,
+                best_episode=best_episode,
                 best_breakdown=best_breakdown,
                 best_placement=best_placement,
                 deadlocks=deadlocks,
@@ -373,8 +460,11 @@ class RLPlannerTrainer:
         the action/PPO RNG generator states (``bit_generator.state``),
         the RND predictor + its optimizer and running observation/bonus
         statistics (the frozen target re-derives from the seed), the
-        batched engine's episode counter, and the training progress
-        (best layout so far, history, deadlock count, elapsed budget).
+        global episode counter (the only collection state sharded
+        workers depend on — their per-episode streams re-derive from
+        (seed, index)), and the training progress (best layout so far
+        with its episode index, history, deadlock count, elapsed
+        budget).
         """
         # The history list must be snapshotted, not aliased: train()
         # keeps appending to the live list, which would retroactively
@@ -386,6 +476,11 @@ class RLPlannerTrainer:
         state = {
             "seed": self.config.seed,
             "batch_size": self.config.batch_size,
+            # Recorded for provenance only: per-episode streams are
+            # derived statelessly from (seed, episode_index), so a run
+            # may legally resume under a *different* collect_jobs and
+            # stay bitwise.
+            "collect_jobs": self.config.collect_jobs,
             "episode_index": self._episode_index,
             "network": self.network.state_dict(),
             "optimizer": self.optimizer.state_dict(),

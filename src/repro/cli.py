@@ -44,6 +44,7 @@ def _budget_from_args(args) -> ExperimentBudget:
         sa_iterations_hotspot=args.sa_iterations,
         seed=args.seed,
         rollout_batch_size=args.batch_size,
+        collect_jobs=args.collect_jobs,
         sa_chains=args.sa_chains,
         sa_incremental=args.sa_incremental,
         hotspot_reuse_factorization=args.hotspot_reuse_lu,
@@ -62,6 +63,14 @@ def _add_budget_args(parser) -> None:
         default=16,
         help="rollout batch width for RL collection "
         "(1 = sequential engine, >1 = lockstep batched engine)",
+    )
+    parser.add_argument(
+        "--collect-jobs",
+        type=resolve_jobs,
+        default=1,
+        help="worker processes for RL episode collection within one "
+        "training run ('auto' = available CPUs); bitwise identical to "
+        "1 at any count, requires --batch-size >= 2 to take effect",
     )
     parser.add_argument(
         "--sa-chains",

@@ -125,6 +125,14 @@ class ExperimentBudget:
     # result-level caching only.
     rl_checkpoint_every: int = 5
     sa_checkpoint_every: int = 50
+    # Worker processes for RL episode collection *within* one arm
+    # (TrainerConfig.collect_jobs).  Orthogonal to the arm-level
+    # ``jobs`` sharding: ``jobs`` spreads independent arms over cores,
+    # ``collect_jobs`` spreads one arm's episodes.  Bitwise-invariant
+    # by construction (and needs rollout_batch_size >= 2; with the
+    # sequential engine the trainer warns and collects in-process), so
+    # like the checkpoint cadences it never enters a store key.
+    collect_jobs: int = 1
 
     @classmethod
     def paper_scale(cls) -> "ExperimentBudget":
@@ -156,7 +164,11 @@ ARM_JOB_KIND = "method_arm"
 #: Budget knobs that cannot change an arm's result and therefore must
 #: not invalidate its store key (checkpoint cadences only matter while
 #: a run is in flight; a resumed run is bitwise-identical regardless).
-_NON_SEMANTIC_BUDGET_FIELDS = ("rl_checkpoint_every", "sa_checkpoint_every")
+_NON_SEMANTIC_BUDGET_FIELDS = (
+    "rl_checkpoint_every",
+    "sa_checkpoint_every",
+    "collect_jobs",
+)
 
 
 def spec_fingerprint(spec: BenchmarkSpec) -> dict:
@@ -301,6 +313,7 @@ def _run_rl(
             epochs=budget.rl_epochs,
             episodes_per_epoch=budget.episodes_per_epoch,
             batch_size=budget.rollout_batch_size,
+            collect_jobs=budget.collect_jobs,
             seed=budget.seed,
             use_rnd=use_rnd,
             rnd=RNDConfig(bonus_scale=0.5),

@@ -24,8 +24,10 @@ from repro.nn.serialization import (
     CHECKPOINT_SCHEMA_VERSION,
     CheckpointSchemaError,
     LegacyCheckpointError,
+    dumps_payload,
     load_payload,
     load_state_dict,
+    loads_payload,
     save_payload,
     save_state_dict,
 )
@@ -50,6 +52,8 @@ __all__ = [
     "load_state_dict",
     "save_payload",
     "load_payload",
+    "dumps_payload",
+    "loads_payload",
     "CHECKPOINT_SCHEMA_VERSION",
     "CheckpointSchemaError",
     "LegacyCheckpointError",

@@ -14,6 +14,11 @@ Two layers:
   ``.npz``; everything else is described by a JSON ``__meta__`` tree
   so floats and big ints round-trip **bitwise** (Python's JSON float
   repr is shortest-exact, and its ints are unbounded).
+* :func:`dumps_payload` / :func:`loads_payload` — the same schema,
+  round-tripped through ``bytes`` instead of a file.  This is how the
+  distributed episode collector ships the trainer's policy weights to
+  its worker processes once per epoch: the bytes a worker decodes are
+  exactly the bytes :func:`save_payload` would have written.
 
 The split exists so resumable checkpoints can be told apart from legacy
 weight-only files: :func:`load_payload` raises
@@ -23,6 +28,7 @@ instead of silently resuming with reset optimizer/RNG state.
 
 from __future__ import annotations
 
+import io
 import json
 import pickle
 from pathlib import Path
@@ -39,12 +45,16 @@ __all__ = [
     "load_state_dict",
     "save_payload",
     "load_payload",
+    "dumps_payload",
+    "loads_payload",
 ]
 
 #: Bump on any incompatible change to the payload layout or to what the
 #: trainer/annealer pack into their checkpoints.  Old files then fail
 #: loudly (``CheckpointSchemaError``) instead of resuming wrong.
-CHECKPOINT_SCHEMA_VERSION = 1
+#: v2: trainer checkpoints gained the distributed-collection state
+#: (``collect_jobs`` and the explicit ``best_episode`` selection index).
+CHECKPOINT_SCHEMA_VERSION = 2
 
 _META_KEY = "__meta__"
 _FORMAT = "repro-checkpoint"
@@ -131,17 +141,8 @@ def _decode(node, arrays: dict):
     raise CheckpointSchemaError(f"unknown payload node type {kind!r}")
 
 
-def save_payload(payload: dict, path, kind: str) -> None:
-    """Write a nested checkpoint payload to ``path`` (.npz).
-
-    ``kind`` names what the payload is (``"rlplanner-trainer"``,
-    ``"sa-engine"``, ...); :func:`load_payload` refuses to hand a
-    payload of one kind to a consumer expecting another.
-
-    The write is atomic (temp file + ``os.replace``): checkpoints are
-    typically overwritten in place, and a kill mid-write must corrupt
-    the *new* file, never the last good one.
-    """
+def _pack(payload: dict, kind: str) -> dict:
+    """Encode a payload into the flat ``{slot: array}`` npz mapping."""
     arrays: dict = {}
     tree = _encode(payload, arrays)
     meta = {
@@ -153,6 +154,51 @@ def save_payload(payload: dict, path, kind: str) -> None:
     arrays[_META_KEY] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
+    return arrays
+
+
+def _unpack(arrays: dict, kind: str | None, source: str) -> dict:
+    """Decode a ``{slot: array}`` mapping back into the payload."""
+    if _META_KEY not in arrays:
+        raise LegacyCheckpointError(
+            f"{source} is a legacy weight-only state dict (no {_META_KEY!r} "
+            "schema marker): it carries no optimizer, RNG or progress "
+            "state and cannot resume a run.  Re-save it with "
+            "save_payload / RLPlannerTrainer.save_checkpoint, or load "
+            "the raw weights explicitly via load_state_dict."
+        )
+    meta = json.loads(arrays.pop(_META_KEY).tobytes().decode("utf-8"))
+    if meta.get("format") != _FORMAT:
+        raise CheckpointSchemaError(
+            f"{source}: unrecognized checkpoint format {meta.get('format')!r}"
+        )
+    version = meta.get("version")
+    if version != CHECKPOINT_SCHEMA_VERSION:
+        raise CheckpointSchemaError(
+            f"{source}: checkpoint schema version {version} != supported "
+            f"{CHECKPOINT_SCHEMA_VERSION}; regenerate the checkpoint "
+            "(there is no in-place upgrade path)"
+        )
+    if kind is not None and meta.get("kind") != kind:
+        raise CheckpointSchemaError(
+            f"{source}: checkpoint kind {meta.get('kind')!r} != expected "
+            f"{kind!r}"
+        )
+    return _decode(meta["tree"], arrays)
+
+
+def save_payload(payload: dict, path, kind: str) -> None:
+    """Write a nested checkpoint payload to ``path`` (.npz).
+
+    ``kind`` names what the payload is (``"rlplanner-trainer"``,
+    ``"sa-engine"``, ...); :func:`load_payload` refuses to hand a
+    payload of one kind to a consumer expecting another.
+
+    The write is atomic (temp file + ``os.replace``): checkpoints are
+    typically overwritten in place, and a kill mid-write must corrupt
+    the *new* file, never the last good one.
+    """
+    arrays = _pack(payload, kind)
     path = Path(path)
     if not path.suffix:
         path = path.with_suffix(".npz")  # np.savez would append it anyway
@@ -174,29 +220,23 @@ def load_payload(path, kind: str | None = None) -> dict:
     path = Path(path)
     with np.load(path) as data:
         arrays = {key: data[key].copy() for key in data.files}
-    if _META_KEY not in arrays:
-        raise LegacyCheckpointError(
-            f"{path} is a legacy weight-only state dict (no {_META_KEY!r} "
-            "schema marker): it carries no optimizer, RNG or progress "
-            "state and cannot resume a run.  Re-save it with "
-            "save_payload / RLPlannerTrainer.save_checkpoint, or load "
-            "the raw weights explicitly via load_state_dict."
-        )
-    meta = json.loads(arrays.pop(_META_KEY).tobytes().decode("utf-8"))
-    if meta.get("format") != _FORMAT:
-        raise CheckpointSchemaError(
-            f"{path}: unrecognized checkpoint format {meta.get('format')!r}"
-        )
-    version = meta.get("version")
-    if version != CHECKPOINT_SCHEMA_VERSION:
-        raise CheckpointSchemaError(
-            f"{path}: checkpoint schema version {version} != supported "
-            f"{CHECKPOINT_SCHEMA_VERSION}; regenerate the checkpoint "
-            "(there is no in-place upgrade path)"
-        )
-    if kind is not None and meta.get("kind") != kind:
-        raise CheckpointSchemaError(
-            f"{path}: checkpoint kind {meta.get('kind')!r} != expected "
-            f"{kind!r}"
-        )
-    return _decode(meta["tree"], arrays)
+    return _unpack(arrays, kind, str(path))
+
+
+def dumps_payload(payload: dict, kind: str) -> bytes:
+    """Serialize a payload to ``bytes`` (same schema as the ``.npz``).
+
+    Used where the payload crosses a process boundary instead of a
+    filesystem: the collector broadcasts policy weights to its workers
+    as one opaque byte string per epoch.
+    """
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **_pack(payload, kind))
+    return buffer.getvalue()
+
+
+def loads_payload(data: bytes, kind: str | None = None) -> dict:
+    """Decode a payload produced by :func:`dumps_payload`."""
+    with np.load(io.BytesIO(data)) as npz:
+        arrays = {key: npz[key].copy() for key in npz.files}
+    return _unpack(arrays, kind, "<payload bytes>")

@@ -1,22 +1,56 @@
-"""Process-level experiment sharding.
+"""Process-level sharding: experiment arms and episode collection.
 
 The experiment harness produces tens of independent, CPU-bound units of
 work — one (benchmark x method) arm per Table I/III cell, one dataset
 chunk per Table II shard — that PRs 1-3 made fast *inside* one process
 but still ran strictly sequentially on one core.  This package spreads
-them across a process pool:
+them across process pools:
 
 * :mod:`repro.parallel.scheduler` — picklable job specs, dependency
   edges resolved in the parent (e.g. the wall-clock-matched SA arm
   receiving the measured RL runtime), ordered result collection, and a
   ``jobs=1`` in-process fallback that is bit-for-bit the sequential
   path.
+* :mod:`repro.parallel.collector` — distributed PPO episode collection
+  *inside* one RL arm: a persistent worker pool that receives the
+  policy weights once per epoch and collects contiguous slices of
+  per-episode RNG streams, bitwise identical to in-process collection
+  at any worker count.
 * :mod:`repro.parallel.cache` — file locking and atomic-rename writes
   so workers share one on-disk artifact cache (the thermal
   characterization tables) instead of racing to recompute it.
 """
 
 from repro.parallel.cache import FileLock, atomic_replace
-from repro.parallel.scheduler import JobSpec, resolve_jobs, run_jobs
+from repro.parallel.scheduler import (
+    JobFailedError,
+    JobSpec,
+    resolve_jobs,
+    run_jobs,
+)
 
-__all__ = ["FileLock", "JobSpec", "atomic_replace", "resolve_jobs", "run_jobs"]
+__all__ = [
+    "EpisodeCollector",
+    "FileLock",
+    "JobFailedError",
+    "JobSpec",
+    "atomic_replace",
+    "collect_slice",
+    "partition_episodes",
+    "resolve_jobs",
+    "run_jobs",
+]
+
+_COLLECTOR_EXPORTS = ("EpisodeCollector", "collect_slice", "partition_episodes")
+
+
+def __getattr__(name: str):
+    # The collector is re-exported lazily: it imports repro.nn, whose
+    # serialization module imports repro.parallel.cache — an eager
+    # import here would close that cycle while repro.nn is still
+    # initializing.
+    if name in _COLLECTOR_EXPORTS:
+        from repro.parallel import collector
+
+        return getattr(collector, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,360 @@
+"""Distributed PPO episode collection over a persistent process pool.
+
+The trainer's batched engine already made every episode a pure function
+of (policy weights, its own ``episode.{index}`` RNG stream): episode
+``k`` of a run draws from ``SeedSequence(seed).rng(f"episode.{k}")`` no
+matter which lockstep wave it rides in, which is what makes batched
+collection width-invariant.  This module pushes that property across
+process boundaries:
+
+* :func:`collect_wave` / :func:`collect_slice` — the one and only
+  lockstep collection loop.  The trainer's in-process path and the pool
+  workers both run *this* code, so ``collect_jobs=N`` cannot drift from
+  ``collect_jobs=1`` by construction.
+* :class:`EpisodeCollector` — a persistent worker pool.  Workers build
+  their environment + network replica once (pool initializer); each
+  epoch the trainer broadcasts its policy weights (the versioned
+  :func:`repro.nn.dumps_payload` schema — the same bytes a checkpoint
+  would hold) and assigns each worker a contiguous, *wave-aligned*
+  slice of episode indices (:func:`partition_episodes`).  Every episode
+  keeps its exact ``episode.{index}`` stream *and* its exact lockstep
+  wave width, and the parent merges the slices back in index order, so
+  the merged epoch is **bitwise identical** to in-process collection —
+  the regression tests pin ``collect_jobs`` 2 and 4 against 1 for the
+  plain, RND and batched trainers, including kill+resume.
+
+Because the per-episode streams are *stateless* — derived on demand
+from ``(seed, index)`` — workers carry no RNG state between epochs.
+The only cross-epoch collection state is the trainer's global episode
+counter, which PR 5's checkpoint payload already captures
+(``state_dict()["episode_index"]``); kill+resume under sharded
+collection therefore stays bitwise with no extra bookkeeping.
+
+The sequential engine (``batch_size=1``) shares one action stream
+across episodes — episode ``k``'s trajectory depends on every draw
+before it — so it cannot be sharded without changing its golden-pinned
+results; the trainer falls back to in-process collection for it
+(loudly).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.nn import dumps_payload, loads_payload
+from repro.rl import Episode
+from repro.utils import SeedSequence, get_logger
+
+__all__ = [
+    "EpisodeCollector",
+    "POLICY_PAYLOAD_KIND",
+    "collect_slice",
+    "collect_wave",
+    "partition_episodes",
+]
+
+_logger = get_logger("parallel.collector")
+
+#: ``kind`` tag of the per-epoch policy-weight broadcast payload.
+POLICY_PAYLOAD_KIND = "collector-policy"
+
+
+def episode_rng(seeds: SeedSequence, index: int) -> np.random.Generator:
+    """The RNG stream of global episode ``index`` (pure in (seed, index))."""
+    return seeds.rng(f"episode.{index}")
+
+
+def partition_episodes(
+    start_index: int, count: int, width: int, jobs: int
+) -> list:
+    """Contiguous, wave-aligned ``(start, size)`` slices of an epoch.
+
+    In-process collection sweeps the epoch in lockstep waves of
+    ``width`` episodes (a final partial wave takes the remainder).
+    Slices are cut ONLY on those wave boundaries, so a sharded epoch
+    reproduces the exact in-process wave structure: every episode rides
+    a wave of the same width it would ride under ``collect_jobs=1``.
+    That alignment is load-bearing for bitwise equality — per-row
+    results are width-invariant across widths >= 2 (shape-stable
+    per-row GEMMs), but a width-1 wave goes through a different BLAS
+    kernel (GEMV vs GEMM) whose accumulation can differ in the last
+    ulp, so the remainder wave must stay a remainder wave.
+
+    Deterministic in its arguments: the first ``n_waves % jobs`` slices
+    get one extra wave.  Empty slices are never emitted (``jobs``
+    beyond the wave count simply go idle), so every returned slice maps
+    to one worker task.
+    """
+    if count < 1:
+        return []
+    width = min(width, count)
+    n_waves = -(-count // width)  # ceil division
+    workers = min(jobs, n_waves)
+    base, extra = divmod(n_waves, workers)
+    slices = []
+    first_wave = 0
+    for worker in range(workers):
+        waves = base + (1 if worker < extra else 0)
+        begin = first_wave * width
+        end = min((first_wave + waves) * width, count)
+        slices.append((start_index + begin, end - begin))
+        first_wave += waves
+    return slices
+
+
+def collect_wave(network, batched_env, rngs, greedy: bool = False) -> list:
+    """One lockstep wave of ``len(rngs)`` episodes through ``batched_env``.
+
+    Row ``i`` samples exclusively from ``rngs[i]``; the conv stack runs
+    per-row shape-stable GEMMs, so each episode's trajectory is
+    independent of its wave companions — the invariance every
+    ``collect_jobs``/``batch_size`` guarantee in this repo rests on.
+    """
+    wave_n = len(rngs)
+    episodes = [Episode() for _ in range(wave_n)]
+    infos: list = [{} for _ in range(wave_n)]
+    observations, masks = batched_env.reset(wave_n)
+    live = batched_env.live_indices
+    static_channels = batched_env.observation_builder.STATIC_CHANNELS
+    first_step = True
+    while len(live):
+        actions, log_probs, values = network.act_batch(
+            observations,
+            masks,
+            [rngs[i] for i in live],
+            greedy=greedy,
+            static_channels=static_channels,
+            # Right after a lockstep reset every row is identical, so
+            # the forward runs once and broadcasts.
+            shared_rows=first_step,
+        )
+        first_step = False
+        for row, index in enumerate(live):
+            episodes[index].add_step(
+                observations[row],
+                masks[row],
+                int(actions[row]),
+                float(log_probs[row]),
+                float(values[row]),
+            )
+        result = batched_env.step(actions)
+        for index, reward, info in result.finished:
+            episodes[index].set_terminal_reward(reward)
+            infos[index] = info
+        observations, masks = result.observations, result.masks
+        live = result.live_indices
+    return list(zip(episodes, infos))
+
+
+def collect_slice(
+    network,
+    batched_env,
+    seeds: SeedSequence,
+    start_index: int,
+    count: int,
+    width: int,
+    greedy: bool = False,
+) -> list:
+    """Collect episodes ``start_index .. start_index+count-1`` in waves.
+
+    Exactly the trainer's in-process batched loop: waves of
+    ``min(width, remaining)`` episodes, each episode on its own
+    ``episode.{index}`` stream.  Called identically by the trainer
+    (one slice spanning the whole epoch) and by pool workers (one
+    contiguous sub-slice each).
+    """
+    collected = []
+    width = min(width, count)
+    for offset in range(0, count, width):
+        wave_n = min(width, count - offset)
+        rngs = [
+            episode_rng(seeds, start_index + offset + k)
+            for k in range(wave_n)
+        ]
+        collected.extend(collect_wave(network, batched_env, rngs, greedy))
+    return collected
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+
+#: Per-process replica of the collection stack, built once by the pool
+#: initializer and reused for every epoch the worker serves.
+_WORKER_STATE: dict | None = None
+
+
+def _init_worker(
+    system, reward_calculator, env_config, channels, batch_size, seed
+) -> None:
+    """Pool initializer: build this worker's env + network replica.
+
+    Runs once per worker process.  The network's init weights are
+    irrelevant — every task starts by loading the broadcast weights —
+    so a fixed dummy RNG keeps construction cheap and seed-independent.
+    """
+    global _WORKER_STATE
+    # Imported here, not at module level: repro.agent.__init__ imports
+    # the trainer, which imports this module — a module-level import of
+    # the networks would close that cycle during interpreter start-up.
+    from repro.agent.networks import ActorCritic
+    from repro.env import BatchedFloorplanEnv, FloorplanEnv
+
+    env = FloorplanEnv(system, reward_calculator, env_config)
+    network = ActorCritic(
+        env.observation_shape,
+        env.n_actions,
+        channels=channels,
+        rng=np.random.default_rng(0),
+    )
+    _WORKER_STATE = {
+        "network": network,
+        "batched_env": BatchedFloorplanEnv(system, reward_calculator, env_config),
+        "seeds": SeedSequence(seed),
+        "batch_size": batch_size,
+    }
+
+
+def _collect_remote(
+    weights: bytes, start_index: int, count: int, greedy: bool
+) -> list:
+    """Worker task: load the broadcast weights, collect one slice."""
+    state = _WORKER_STATE
+    if state is None:  # pragma: no cover - initializer contract
+        raise RuntimeError("collector worker was never initialized")
+    state["network"].load_state_dict(
+        loads_payload(weights, kind=POLICY_PAYLOAD_KIND)
+    )
+    return collect_slice(
+        state["network"],
+        state["batched_env"],
+        state["seeds"],
+        start_index,
+        count,
+        state["batch_size"],
+        greedy=greedy,
+    )
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+
+
+class EpisodeCollector:
+    """Persistent worker pool for sharded episode collection.
+
+    Parameters
+    ----------
+    system, reward_calculator, env_config:
+        The environment replica each worker builds (must be picklable —
+        the fast thermal model is; a live ``splu``-holding grid solver
+        is not, and RL arms never train against one).
+    jobs:
+        Worker processes (>= 2; ``collect_jobs=1`` never constructs a
+        collector).
+    batch_size:
+        Lockstep wave width inside each worker (>= 2: the sequential
+        engine's shared action stream cannot be sharded).
+    seed:
+        The trainer seed; workers re-derive the exact per-episode
+        streams from it.
+    encoder_channels:
+        Conv widths of the actor-critic replica.
+
+    Workers spawn lazily on the first :meth:`collect` and persist
+    across epochs; :meth:`close` (or the context manager) releases
+    them.  Any failure or interrupt mid-collection shuts the pool down
+    with ``cancel_futures=True`` before propagating, so a Ctrl-C never
+    strands worker processes behind a dead trainer.
+    """
+
+    def __init__(
+        self,
+        system,
+        reward_calculator,
+        env_config,
+        *,
+        jobs: int,
+        batch_size: int,
+        seed: int,
+        encoder_channels: tuple = (16, 32, 32),
+    ):
+        if jobs < 2:
+            raise ValueError("EpisodeCollector needs jobs >= 2")
+        if batch_size < 2:
+            raise ValueError(
+                "distributed collection requires the batched engine "
+                "(batch_size >= 2); the sequential engine's episodes "
+                "share one action stream and cannot be sharded bitwise"
+            )
+        self.jobs = jobs
+        self.batch_size = batch_size
+        self._initargs = (
+            system,
+            reward_calculator,
+            env_config,
+            tuple(encoder_channels),
+            batch_size,
+            seed,
+        )
+        self._pool: ProcessPoolExecutor | None = None
+
+    @property
+    def active(self) -> bool:
+        """Whether worker processes are currently alive."""
+        return self._pool is not None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            _logger.info("starting %d collection workers", self.jobs)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=self._initargs,
+            )
+        return self._pool
+
+    def collect(
+        self, network, start_index: int, count: int, greedy: bool = False
+    ) -> list:
+        """Collect ``count`` episodes starting at global ``start_index``.
+
+        Broadcasts ``network``'s weights once, fans contiguous index
+        slices over the workers, and returns ``[(Episode, info), ...]``
+        merged in strict index order — bitwise identical to one
+        in-process :func:`collect_slice` over the same range.
+        """
+        pool = self._ensure_pool()
+        weights = dumps_payload(network.state_dict(), kind=POLICY_PAYLOAD_KIND)
+        futures = [
+            pool.submit(_collect_remote, weights, start, size, greedy)
+            for start, size in partition_episodes(
+                start_index, count, self.batch_size, self.jobs
+            )
+        ]
+        try:
+            # Futures are ordered by slice start, so concatenation IS
+            # the fixed index-order merge the best-placement selection
+            # relies on.
+            parts = [future.result() for future in futures]
+        except BaseException:
+            # Worker failure or Ctrl-C in the parent: never strand the
+            # pool — cancel queued slices and abandon the rest.
+            self.close(wait=False)
+            raise
+        return [pair for part in parts for pair in part]
+
+    def close(self, wait: bool = True) -> None:
+        """Release the worker processes (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait, cancel_futures=not wait)
+            self._pool = None
+
+    def __enter__(self) -> "EpisodeCollector":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(wait=exc_info[0] is None)

@@ -118,28 +118,50 @@ def _validate(specs: list) -> None:
         seen.add(spec.job_id)
 
 
+def _probe_cpu_count() -> int:
+    """CPUs available to this process, probed defensively.
+
+    Every probe in the chain is allowed to be missing, raise, or answer
+    ``None`` (``os.cpu_count`` is documented to return ``None`` when it
+    cannot determine the count, and containers/exotic hosts do hit
+    that): a dead probe falls through to the next one instead of
+    propagating ``None``/``TypeError`` into a worker count, and the
+    final answer is always clamped to at least 1.
+    """
+    probes = (
+        # Python >= 3.13: cgroup/affinity-aware by design.
+        getattr(os, "process_cpu_count", None),
+        # Linux: scheduling affinity of this process.
+        lambda: len(os.sched_getaffinity(0)),
+        # Portable last resort.
+        os.cpu_count,
+    )
+    for probe in probes:
+        if probe is None:
+            continue
+        try:
+            count = probe()
+        except (AttributeError, OSError, ValueError):
+            continue
+        if count is not None and int(count) >= 1:
+            return int(count)
+    return 1
+
+
 def resolve_jobs(value) -> int:
     """Parse a ``--jobs`` value: a positive integer or ``"auto"``.
 
     ``"auto"`` resolves to the CPUs actually available to this process
-    (``os.process_cpu_count`` where it exists — Python >= 3.13 — and
-    the scheduling affinity / ``os.cpu_count`` before that), never less
-    than 1.
+    (``os.process_cpu_count`` where it exists — Python >= 3.13 — then
+    the scheduling affinity, then ``os.cpu_count``), never less than 1
+    even when every probe is unavailable or answers ``None``.
     """
     if isinstance(value, int):
         jobs = value
     else:
         text = str(value).strip().lower()
         if text == "auto":
-            counter = getattr(os, "process_cpu_count", None)
-            if counter is not None:
-                jobs = counter()
-            else:
-                try:
-                    jobs = len(os.sched_getaffinity(0))
-                except (AttributeError, OSError):
-                    jobs = os.cpu_count()
-            return max(int(jobs or 1), 1)
+            return _probe_cpu_count()
         jobs = int(text)  # ValueError on garbage, as argparse expects
     if jobs < 1:
         raise ValueError("jobs must be >= 1 (or 'auto')")
@@ -198,7 +220,12 @@ def _run_pooled(specs: list, jobs: int, done: dict, store=None) -> None:
     by_id = {spec.job_id: spec for spec in specs}
     waiting = list(specs)
     futures = {}  # future -> job_id
-    with ProcessPoolExecutor(max_workers=jobs) as pool:
+    # Deliberately NOT a ``with`` block: the context manager's __exit__
+    # is shutdown(wait=True), which would hold a failure — or a Ctrl-C —
+    # hostage until every in-flight job finishes (minutes on real
+    # budgets).  Errors instead abandon the pool immediately below.
+    pool = ProcessPoolExecutor(max_workers=jobs)
+    try:
         def dispatch_ready() -> None:
             still_waiting = []
             for spec in waiting:
@@ -217,12 +244,32 @@ def _run_pooled(specs: list, jobs: int, done: dict, store=None) -> None:
                 job_id = futures.pop(future)
                 error = future.exception()
                 if error is not None:
-                    for pending in futures:
-                        pending.cancel()
                     raise JobFailedError(job_id, error)
                 done[job_id] = future.result()
                 _publish(store, by_id[job_id], done[job_id])
             dispatch_ready()
+    except BaseException as error:
+        # Fail fast: drop queued futures and do NOT wait for in-flight
+        # siblings — surface the failure (or KeyboardInterrupt) now.
+        # Completed keyed jobs were already published atomically as
+        # they finished, so an interrupted sweep stays --resume-able;
+        # the failing/cancelled jobs simply never published.
+        # Snapshot before shutdown(): it nulls the process table.
+        workers = list((getattr(pool, "_processes", None) or {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        if isinstance(error, KeyboardInterrupt):
+            # A job failure lets in-flight siblings drain (their
+            # worker-side publishes salvage real work), but Ctrl-C
+            # means *stop now*: undrained workers would keep the
+            # interpreter alive at exit (the executor's atexit hook
+            # joins them), holding the terminal for as long as the
+            # longest in-flight arm.  Terminating them is safe — every
+            # store write is atomic, so a killed job simply never
+            # published and restarts from its last checkpoint.
+            for process in workers:
+                process.terminate()
+        raise
+    pool.shutdown(wait=True)
     if waiting:  # unreachable given _validate, kept as a tripwire
         raise RuntimeError(
             f"{len(waiting)} jobs never became ready: "

@@ -14,13 +14,18 @@ Covers the PR-4 tentpole guarantees:
 * the dependency-ordered wall-clock matching of the ``TAP-2.5D*`` arm,
   including the satellite fix: time matching without an RL arm now
   warns and records ``time_matched: False`` instead of silently
-  running unmatched.
+  running unmatched;
+* the PR-6 scheduler bugfixes — fail-fast (a failing job surfaces
+  before unrelated in-flight siblings finish), pool teardown on
+  KeyboardInterrupt, and ``resolve_jobs("auto")`` never propagating a
+  dead CPU probe.
 """
 
 import contextlib
 import logging
 import multiprocessing
 import time
+from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 import pytest
@@ -33,8 +38,15 @@ from repro.experiments.runner import (
     run_all_methods,
 )
 from repro.experiments.table2 import run_table2
-from repro.parallel import FileLock, JobSpec, atomic_replace, run_jobs
-from repro.parallel.scheduler import JobFailedError
+from repro.parallel import (
+    FileLock,
+    JobFailedError,
+    JobSpec,
+    atomic_replace,
+    resolve_jobs,
+    run_jobs,
+)
+from repro.parallel import scheduler as scheduler_module
 from repro.reward import RewardConfig
 from repro.systems.spec import BenchmarkSpec
 from repro.thermal import ThermalConfig
@@ -60,6 +72,16 @@ def _boom():
 def _slow_square(x):
     time.sleep(0.02)
     return x * x
+
+
+def _very_slow_square(x):
+    time.sleep(4.0)
+    return x * x
+
+
+def _boom_after(delay):
+    time.sleep(delay)
+    raise RuntimeError("boom")
 
 
 def _inject_offset(dep_id, kwargs, done):
@@ -161,6 +183,109 @@ class TestScheduler:
         specs = [JobSpec("ok", _square, dict(x=2)), JobSpec("bad", _boom)]
         with pytest.raises(JobFailedError, match="bad"):
             run_jobs(specs, jobs=2)
+
+
+class TestPoolTeardown:
+    """PR-6 scheduler bugfixes: fail fast, never strand the pool."""
+
+    def test_failure_surfaces_before_slow_sibling_completes(self):
+        # Regression: _run_pooled used to raise inside the pool's
+        # ``with`` block, whose __exit__ is shutdown(wait=True) — so a
+        # job failing at t=0.1s was reported only after the 4-second
+        # sibling finished.  With the fix the JobFailedError must
+        # surface while the sibling is still running.
+        specs = [
+            JobSpec("slow", _very_slow_square, dict(x=3)),
+            JobSpec("fast-fail", _boom_after, dict(delay=0.1)),
+        ]
+        start = time.monotonic()
+        with pytest.raises(JobFailedError, match="fast-fail"):
+            run_jobs(specs, jobs=2)
+        elapsed = time.monotonic() - start
+        assert elapsed < 3.0, (
+            f"failure took {elapsed:.1f}s to surface — the scheduler "
+            "waited for the unrelated in-flight job"
+        )
+
+    def test_keyboard_interrupt_tears_down_pool(self, monkeypatch):
+        # A Ctrl-C while waiting on futures must shut the pool down
+        # with cancel_futures=True (dropping everything queued) and
+        # re-raise, not leave orphaned workers grinding on.
+        shutdown_calls = []
+        original_shutdown = ProcessPoolExecutor.shutdown
+
+        def spy(self, wait=True, *, cancel_futures=False):
+            shutdown_calls.append((wait, cancel_futures))
+            return original_shutdown(
+                self, wait=wait, cancel_futures=cancel_futures
+            )
+
+        monkeypatch.setattr(ProcessPoolExecutor, "shutdown", spy)
+
+        def interrupted_wait(*args, **kwargs):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(scheduler_module, "wait", interrupted_wait)
+        with pytest.raises(KeyboardInterrupt):
+            run_jobs([JobSpec("a", _slow_square, dict(x=2))], jobs=2)
+        assert (False, True) in shutdown_calls, (
+            f"expected shutdown(wait=False, cancel_futures=True), "
+            f"saw {shutdown_calls}"
+        )
+
+
+class TestResolveJobsProbes:
+    """``resolve_jobs("auto")`` on exotic hosts: every probe may die."""
+
+    def test_process_cpu_count_none_falls_through(self, monkeypatch):
+        # Regression: a present-but-None process_cpu_count used to
+        # resolve straight to 1 instead of consulting the remaining
+        # probes.
+        monkeypatch.setattr(
+            scheduler_module.os,
+            "process_cpu_count",
+            lambda: None,
+            raising=False,
+        )
+        monkeypatch.setattr(
+            scheduler_module.os,
+            "sched_getaffinity",
+            lambda pid: {0, 1, 2},
+            raising=False,
+        )
+        assert resolve_jobs("auto") == 3
+
+    def test_all_probes_dead_resolves_to_one(self, monkeypatch):
+        monkeypatch.setattr(
+            scheduler_module.os,
+            "process_cpu_count",
+            lambda: None,
+            raising=False,
+        )
+        monkeypatch.delattr(
+            scheduler_module.os, "sched_getaffinity", raising=False
+        )
+        monkeypatch.setattr(scheduler_module.os, "cpu_count", lambda: None)
+        assert resolve_jobs("auto") == 1
+
+    def test_zero_and_raising_probes_clamp_to_one(self, monkeypatch):
+        def raising_probe():
+            raise OSError("no such syscall")
+
+        monkeypatch.setattr(
+            scheduler_module.os,
+            "process_cpu_count",
+            raising_probe,
+            raising=False,
+        )
+        monkeypatch.setattr(
+            scheduler_module.os,
+            "sched_getaffinity",
+            lambda pid: set(),
+            raising=False,
+        )
+        monkeypatch.setattr(scheduler_module.os, "cpu_count", lambda: 0)
+        assert resolve_jobs("auto") == 1
 
 
 class TestLockedCache:
