@@ -13,13 +13,21 @@ content-addressed run store, so a re-run after an interruption skips
 finished work and restarts in-flight arms from their latest checkpoint
 — with results bitwise identical to an uninterrupted run.
 
+Fault tolerance: transiently failing jobs (dead workers, OS errors)
+retry automatically (``--retries``), stragglers past ``--job-timeout``
+are killed and retried, and ``--keep-going`` quarantines permanently
+failing arms instead of aborting — every independent arm still runs
+and publishes, the per-job triage lands in ``<out>/report.json``, and
+the script exits nonzero on a partial sweep.
+
 Usage:
     python scripts/run_experiments.py [--paper-scale] [--jobs 4] \
-        [--resume] [--out bench_results]
+        [--resume] [--keep-going] [--out bench_results]
 """
 
 import argparse
 import json
+import sys
 import time
 from dataclasses import asdict
 from pathlib import Path
@@ -29,7 +37,7 @@ from repro.experiments.report import save_results
 from repro.experiments.runner import ExperimentBudget
 from repro.experiments.table1 import TABLE1_SYSTEMS, run_table1
 from repro.experiments.table3 import improvement_summary, run_table3
-from repro.parallel import resolve_jobs
+from repro.parallel import RetryPolicy, SweepReport, resolve_jobs
 from repro.store import DEFAULT_STORE_DIR, RunStore
 
 
@@ -130,6 +138,30 @@ def parse_args(argv=None):
     parser.add_argument(
         "--skip", nargs="*", default=[], choices=["table1", "table2", "table3"]
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="K",
+        help="retry transiently failed jobs (dead worker, OS error, "
+        "timeout) up to K times on fresh workers with seeded-jitter "
+        "backoff (default: 2, 0 disables)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-job wall-clock budget; stragglers past it are killed "
+        "and retried as transient failures (needs --jobs >= 2)",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="quarantine permanently failing arms instead of aborting: "
+        "independent arms complete (and publish under --resume), "
+        "<out>/report.json records the triage, exit code is nonzero",
+    )
     return parser.parse_args(argv)
 
 
@@ -151,12 +183,19 @@ def build_budget(args) -> ExperimentBudget:
     )
 
 
-def main(argv=None) -> None:
+def main(argv=None) -> int:
     args = parse_args(argv)
     out = Path(args.out)
     out.mkdir(parents=True, exist_ok=True)
     budget = build_budget(args)
     store = RunStore(args.store_dir) if args.resume else None
+    report = SweepReport()
+    fault_kwargs = dict(
+        policy=RetryPolicy(max_attempts=args.retries + 1),
+        job_timeout=args.job_timeout,
+        keep_going=args.keep_going,
+        report=report,
+    )
     print(f"budget: {budget}")
     print(f"jobs: {args.jobs}")
     if store is not None:
@@ -170,6 +209,7 @@ def main(argv=None) -> None:
             position_samples=budget.position_samples,
             jobs=args.jobs,
             store=store,
+            **fault_kwargs,
         )
         print(t2.format())
         (out / "table2.json").write_text(
@@ -191,7 +231,11 @@ def main(argv=None) -> None:
     if "table1" not in args.skip:
         print("\n=== Table I ===")
         all_results = run_table1(
-            budget, systems=tuple(args.t1_systems), jobs=args.jobs, store=store
+            budget,
+            systems=tuple(args.t1_systems),
+            jobs=args.jobs,
+            store=store,
+            **fault_kwargs,
         )
         by_system = {}
         for res in all_results:
@@ -205,7 +249,11 @@ def main(argv=None) -> None:
     if "table3" not in args.skip:
         print("\n=== Table III ===")
         table3_results = run_table3(
-            budget, cases=tuple(args.t3_cases), jobs=args.jobs, store=store
+            budget,
+            cases=tuple(args.t3_cases),
+            jobs=args.jobs,
+            store=store,
+            **fault_kwargs,
         )
         save_results(
             table3_results, out / "table3.json", {"budget": asdict(budget)}
@@ -227,6 +275,15 @@ def main(argv=None) -> None:
 
     print(f"\ntotal wall time: {(time.time() - started) / 60:.1f} min")
 
+    (out / "report.json").write_text(json.dumps(report.to_dict(), indent=2))
+    if not report.ok:
+        print("\n=== PARTIAL SWEEP ===", file=sys.stderr)
+        print(report.summary(), file=sys.stderr)
+        return 1
+    if report.retried:
+        print(report.summary(), file=sys.stderr)
+    return 0
+
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

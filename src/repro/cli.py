@@ -11,6 +11,12 @@ Subcommands map one-to-one onto the experiment harness:
 pool; ``--resume`` makes sweeps durable through the content-addressed
 run store (completed arms are skipped, interrupted arms restart from
 their latest checkpoint — bitwise identical to an uninterrupted run).
+
+Fault tolerance: ``--retries`` retries transiently failing jobs (dead
+workers, OS errors, timeouts) on fresh workers with seeded-jitter
+backoff, ``--job-timeout`` kills and retries stragglers, and
+``--keep-going`` quarantines permanently failing arms — completing
+every independent arm, printing the sweep report, and exiting nonzero.
 """
 
 from __future__ import annotations
@@ -27,7 +33,7 @@ from repro.experiments import (
 )
 from repro.experiments.report import format_table, save_results
 from repro.experiments.runner import run_all_methods
-from repro.parallel import resolve_jobs
+from repro.parallel import RetryPolicy, SweepReport, resolve_jobs
 from repro.store import DEFAULT_STORE_DIR, RunStore
 from repro.systems import benchmark_names, get_benchmark
 
@@ -137,6 +143,57 @@ def _add_resume_args(parser) -> None:
     )
 
 
+def _add_fault_args(parser) -> None:
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="K",
+        help="retry a transiently failed job (dead worker, OS error, "
+        "timeout) up to K times on a fresh worker with exponential "
+        "seeded-jitter backoff; deterministic failures never retry "
+        "(default: 2, 0 disables)",
+    )
+    parser.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per job; a straggler past it is killed "
+        "and retried as a transient failure (needs --jobs >= 2; "
+        "default: no timeout)",
+    )
+    parser.add_argument(
+        "--keep-going",
+        action="store_true",
+        help="quarantine permanently failing jobs instead of aborting "
+        "the sweep: only their dependency-downstream jobs are skipped, "
+        "every independent job completes (and publishes under "
+        "--resume), the sweep report is printed, and the exit code is "
+        "nonzero",
+    )
+
+
+def _fault_kwargs(args) -> dict:
+    if args.retries < 0:
+        raise SystemExit("--retries must be >= 0")
+    return dict(
+        policy=RetryPolicy(max_attempts=args.retries + 1),
+        job_timeout=args.job_timeout,
+        keep_going=args.keep_going,
+    )
+
+
+def _finish_report(report: SweepReport) -> int:
+    """Print the triage when anything went wrong; map it to an exit code."""
+    if not report.ok:
+        print(report.summary(), file=sys.stderr)
+        return 1
+    if report.retried:
+        print(report.summary(), file=sys.stderr)
+    return 0
+
+
 def _store_from_args(args) -> RunStore | None:
     return RunStore(args.store_dir) if args.resume else None
 
@@ -153,12 +210,14 @@ def main(argv=None) -> int:
         _add_budget_args(p)
         _add_jobs_arg(p)
         _add_resume_args(p)
+        _add_fault_args(p)
 
     p2 = sub.add_parser("table2", help="fast thermal model accuracy/speed")
     p2.add_argument("--systems", type=int, default=300)
     p2.add_argument("--seed", type=int, default=7)
     _add_jobs_arg(p2)
     _add_resume_args(p2)
+    _add_fault_args(p2)
     p2.add_argument("--output", type=str, default=None)
 
     pt = sub.add_parser("train", help="train RLPlanner on one benchmark")
@@ -177,18 +236,31 @@ def main(argv=None) -> int:
     _add_budget_args(ps)
 
     args = parser.parse_args(argv)
+    report = SweepReport()
 
     if args.command == "table1":
         results = run_table1(
-            _budget_from_args(args), jobs=args.jobs, store=_store_from_args(args)
+            _budget_from_args(args),
+            jobs=args.jobs,
+            store=_store_from_args(args),
+            report=report,
+            **_fault_kwargs(args),
         )
     elif args.command == "table3":
         results = run_table3(
-            _budget_from_args(args), jobs=args.jobs, store=_store_from_args(args)
+            _budget_from_args(args),
+            jobs=args.jobs,
+            store=_store_from_args(args),
+            report=report,
+            **_fault_kwargs(args),
         )
     elif args.command == "ablations":
         results = run_ablations(
-            _budget_from_args(args), jobs=args.jobs, store=_store_from_args(args)
+            _budget_from_args(args),
+            jobs=args.jobs,
+            store=_store_from_args(args),
+            report=report,
+            **_fault_kwargs(args),
         )
     elif args.command == "table2":
         table2 = run_table2(
@@ -196,6 +268,8 @@ def main(argv=None) -> int:
             seed=args.seed,
             jobs=args.jobs,
             store=_store_from_args(args),
+            report=report,
+            **_fault_kwargs(args),
         )
         print(table2.format())
         if args.output:
@@ -212,7 +286,7 @@ def main(argv=None) -> int:
                     indent=2,
                 )
             )
-        return 0
+        return _finish_report(report)
     elif args.command == "train":
         spec = get_benchmark(args.benchmark)
         budget = _budget_from_args(args)
@@ -236,7 +310,7 @@ def main(argv=None) -> int:
 
     if getattr(args, "output", None):
         save_results(results, args.output)
-    return 0
+    return _finish_report(report)
 
 
 if __name__ == "__main__":

@@ -153,6 +153,10 @@ def run_ablations(
     verbose: bool = True,
     jobs: int = 1,
     store=None,
+    policy=None,
+    job_timeout: float | None = None,
+    keep_going: bool = False,
+    report=None,
 ) -> list:
     """Run all ablation variants on synthetic case 1.
 
@@ -160,6 +164,9 @@ def run_ablations(
     ``jobs=N`` fans the independent variants over a process pool after
     a shared characterization prewarm.  ``store`` skips variants whose
     results are already published (resumable ablation sweeps).
+    ``policy``/``job_timeout``/``keep_going``/``report`` are the
+    :func:`repro.parallel.run_jobs` fault-tolerance knobs; quarantined
+    variants drop out of the returned rows under ``keep_going``.
     """
     budget = budget or ExperimentBudget(rl_epochs=15)
     store = as_store(store)
@@ -185,9 +192,19 @@ def run_ablations(
         )
         for variant in ABLATION_VARIANTS
     )
-    outcome = run_jobs(job_specs, jobs=jobs, store=store)
+    outcome = run_jobs(
+        job_specs,
+        jobs=jobs,
+        store=store,
+        policy=policy,
+        job_timeout=job_timeout,
+        keep_going=keep_going,
+        report=report,
+    )
     results = [
-        outcome[f"ablations/{variant}"] for variant in ABLATION_VARIANTS
+        outcome[f"ablations/{variant}"]
+        for variant in ABLATION_VARIANTS
+        if f"ablations/{variant}" in outcome
     ]
 
     if verbose:

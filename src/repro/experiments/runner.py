@@ -709,11 +709,16 @@ def method_arm_jobs(
 
 
 def collect_arm_results(outcome: dict, spec_name: str, methods: tuple) -> list:
-    """Pick one benchmark's MethodResults out of a scheduler outcome."""
+    """Pick one benchmark's MethodResults out of a scheduler outcome.
+
+    Arms absent from ``outcome`` (quarantined or skipped under
+    ``keep_going``) are left out rather than raising — the surviving
+    arms still report.
+    """
     return [
         outcome[arm_job_id(spec_name, method)]
         for method in METHOD_ORDER
-        if method in methods
+        if method in methods and arm_job_id(spec_name, method) in outcome
     ]
 
 
@@ -724,6 +729,10 @@ def run_all_methods(
     methods: tuple = METHOD_ORDER,
     jobs: int = 1,
     store=None,
+    policy=None,
+    job_timeout: float | None = None,
+    keep_going: bool = False,
+    report=None,
 ) -> list:
     """Run the requested methods on one benchmark; returns MethodResults.
 
@@ -733,11 +742,26 @@ def run_all_methods(
     ``store`` (a :class:`~repro.store.RunStore` or its root path) makes
     the run resumable: published arms are skipped, in-flight arms
     restart from their latest checkpoint.
+
+    ``policy``/``job_timeout``/``keep_going``/``report`` are the
+    :func:`repro.parallel.run_jobs` fault-tolerance knobs: transient
+    worker failures retry with backoff, stragglers past ``job_timeout``
+    are killed and retried, and under ``keep_going`` a permanently
+    failing arm is quarantined (recorded in ``report``, absent from the
+    returned results) while the other arms complete.
     """
     budget = budget or ExperimentBudget()
     store = as_store(store)
     job_specs = method_arm_jobs(
         spec, budget, cache_dir=cache_dir, methods=methods, store=store
     )
-    outcome = run_jobs(job_specs, jobs=jobs, store=store)
+    outcome = run_jobs(
+        job_specs,
+        jobs=jobs,
+        store=store,
+        policy=policy,
+        job_timeout=job_timeout,
+        keep_going=keep_going,
+        report=report,
+    )
     return collect_arm_results(outcome, spec.name, methods)

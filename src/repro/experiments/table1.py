@@ -28,6 +28,10 @@ def run_table1(
     verbose: bool = True,
     jobs: int = 1,
     store=None,
+    policy=None,
+    job_timeout: float | None = None,
+    keep_going: bool = False,
+    report=None,
 ) -> list:
     """Regenerate Table I; returns a flat list of MethodResults.
 
@@ -39,6 +43,11 @@ def run_table1(
     time-matched arm keeps its dependency on the measured RL runtime.
     ``store`` makes the sweep resumable: published arms are skipped,
     interrupted arms restart from their latest checkpoint.
+
+    ``policy``/``job_timeout``/``keep_going``/``report`` are the
+    :func:`repro.parallel.run_jobs` fault-tolerance knobs; under
+    ``keep_going`` quarantined arms simply drop out of the returned
+    rows while every independent arm still reports.
     """
     budget = budget or ExperimentBudget()
     store = as_store(store)
@@ -48,7 +57,15 @@ def run_table1(
         job_specs.extend(
             method_arm_jobs(spec, budget, cache_dir=cache_dir, store=store)
         )
-    outcome = run_jobs(job_specs, jobs=jobs, store=store)
+    outcome = run_jobs(
+        job_specs,
+        jobs=jobs,
+        store=store,
+        policy=policy,
+        job_timeout=job_timeout,
+        keep_going=keep_going,
+        report=report,
+    )
     all_results = []
     for spec in specs:
         results = collect_arm_results(outcome, spec.name, METHOD_ORDER)

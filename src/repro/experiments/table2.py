@@ -171,6 +171,10 @@ def run_table2(
     position_samples: tuple = (7, 7),
     jobs: int = 1,
     store=None,
+    policy=None,
+    job_timeout: float | None = None,
+    keep_going: bool = False,
+    report=None,
 ) -> Table2Result:
     """Regenerate Table II on ``n_systems`` random systems.
 
@@ -191,6 +195,12 @@ def run_table2(
     carry the *original* run's wall-clock timings; the accuracy
     metrics are bitwise reproducible, the ms/eval figures are not
     re-measured.
+
+    ``policy``/``job_timeout``/``keep_going``/``report`` are the
+    :func:`repro.parallel.run_jobs` fault-tolerance knobs.  Under
+    ``keep_going`` a quarantined shard drops its slice of the dataset:
+    the metrics and the recorded ``n_systems`` then cover only the
+    evaluated systems (and the report flags the sweep as partial).
     """
     config = thermal_config or ThermalConfig(r_convection=0.12)
     cache_dir = DEFAULT_CACHE_DIR if cache_dir is None else Path(cache_dir)
@@ -246,23 +256,39 @@ def run_table2(
                 else max(jobs, 1),
             )
         ]
-        outcome = run_jobs(specs, jobs=max(jobs, 1), store=store)
+        outcome = run_jobs(
+            specs,
+            jobs=max(jobs, 1),
+            store=store,
+            policy=policy,
+            job_timeout=job_timeout,
+            keep_going=keep_going,
+            report=report,
+        )
         predictions, references = [], []
         solver_time = fast_time = 0.0
         for spec in specs:  # submission order == index order
+            if spec.job_id not in outcome:
+                _logger.warning(
+                    "table2: shard %s was quarantined; metrics cover "
+                    "the surviving shards only",
+                    spec.job_id,
+                )
+                continue
             chunk = outcome[spec.job_id]
             predictions.extend(chunk["predictions"])
             references.extend(chunk["references"])
             solver_time += chunk["solver_time"]
             fast_time += chunk["fast_time"]
 
+    evaluated = len(predictions)
     metrics = error_metrics(predictions, references)
     return Table2Result(
         metrics=metrics,
-        solver_time_per_eval=solver_time / n_systems,
-        fast_time_per_eval=fast_time / n_systems,
+        solver_time_per_eval=solver_time / max(evaluated, 1),
+        fast_time_per_eval=fast_time / max(evaluated, 1),
         characterization_time=characterization_time,
-        n_systems=n_systems,
+        n_systems=evaluated,
         predictions=[float(p) for p in predictions],
         references=[float(r) for r in references],
     )

@@ -64,13 +64,19 @@ def run_table3(
     verbose: bool = True,
     jobs: int = 1,
     store=None,
+    policy=None,
+    job_timeout: float | None = None,
+    keep_going: bool = False,
+    report=None,
 ) -> list:
     """Regenerate Table III; returns a flat list of MethodResults.
 
     Like :func:`~repro.experiments.table1.run_table1`, all (case x
     method) arms go through one scheduler graph: ``jobs=1`` is the
     bit-exact sequential order, ``jobs=N`` fans independent arms over a
-    worker pool, and ``store`` makes the sweep resumable.
+    worker pool, ``store`` makes the sweep resumable, and the
+    ``policy``/``job_timeout``/``keep_going``/``report`` knobs are the
+    :func:`repro.parallel.run_jobs` fault-tolerance controls.
     """
     budget = budget or ExperimentBudget()
     store = as_store(store)
@@ -80,7 +86,15 @@ def run_table3(
         job_specs.extend(
             method_arm_jobs(spec, budget, cache_dir=cache_dir, store=store)
         )
-    outcome = run_jobs(job_specs, jobs=jobs, store=store)
+    outcome = run_jobs(
+        job_specs,
+        jobs=jobs,
+        store=store,
+        policy=policy,
+        job_timeout=job_timeout,
+        keep_going=keep_going,
+        report=report,
+    )
     all_results = []
     for spec in specs:
         results = collect_arm_results(outcome, spec.name, METHOD_ORDER)

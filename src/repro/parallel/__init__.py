@@ -19,12 +19,27 @@ them across process pools:
 * :mod:`repro.parallel.cache` — file locking and atomic-rename writes
   so workers share one on-disk artifact cache (the thermal
   characterization tables) instead of racing to recompute it.
+* :mod:`repro.parallel.faults` — the shared fault model: transient vs
+  deterministic classification, :class:`RetryPolicy` (exponential
+  backoff with seeded jitter), and the per-job :class:`SweepReport`.
+* :mod:`repro.parallel.chaos` — deterministic, seeded fault injection
+  (crash/hang/raise at named points, via ``RLPLANNER_CHAOS``) so every
+  failure path above is CI-testable.
 """
 
 from repro.parallel.cache import FileLock, atomic_replace
+from repro.parallel.faults import (
+    JobOutcome,
+    JobTimeoutError,
+    RetryPolicy,
+    SweepReport,
+    WorkerCrashError,
+    WorkerInitError,
+)
 from repro.parallel.scheduler import (
     JobFailedError,
     JobSpec,
+    RemoteTraceback,
     resolve_jobs,
     run_jobs,
 )
@@ -33,7 +48,14 @@ __all__ = [
     "EpisodeCollector",
     "FileLock",
     "JobFailedError",
+    "JobOutcome",
     "JobSpec",
+    "JobTimeoutError",
+    "RemoteTraceback",
+    "RetryPolicy",
+    "SweepReport",
+    "WorkerCrashError",
+    "WorkerInitError",
     "atomic_replace",
     "collect_slice",
     "partition_episodes",

@@ -1,0 +1,206 @@
+"""Deterministic, seeded fault injection for the fault-tolerance layer.
+
+Every failure path the scheduler/collector/store claim to survive must
+be *demonstrable in CI*, not just arguable in review.  This module
+plants named **injection points** on the hot paths::
+
+    scheduler.job     — in the supervised worker, before the job runs
+    collector.init    — in the collection pool's worker initializer
+    collector.slice   — in the collection worker, before a slice runs
+    store.write       — in RunStore, before an artifact is written
+
+and fires configured faults at them:
+
+* ``crash`` — ``SIGKILL`` the current process (a machine-death / OOM
+  stand-in; the supervisor sees a dead worker, not an exception);
+* ``hang``  — sleep far past any timeout (a straggler stand-in);
+* ``raise`` — raise :class:`TransientChaosError` (an ``OSError``, so
+  the retry policy classifies it transient) or
+  :class:`DeterministicChaosError` (permanently failing job).
+
+Configuration travels through the ``RLPLANNER_CHAOS`` environment
+variable — a JSON object or list of objects — so pool workers inherit
+it across ``fork``/``spawn`` with no plumbing::
+
+    RLPLANNER_CHAOS='{"point": "scheduler.job", "mode": "crash",
+                      "match": "RLPlanner", "times": 1,
+                      "dir": "/tmp/chaos"}'
+
+``times`` bounds how often a spec fires (0 = unlimited).  With ``dir``
+set, fire slots are claimed via ``O_CREAT|O_EXCL`` sentinel files in
+that directory, so the bound holds **across every process of the
+sweep** — "crash exactly one worker, once" is expressible and
+deterministic.  Without ``dir`` the count is per-process.
+
+Tests may bypass the environment with :func:`set_chaos`.  With no
+configuration, :func:`maybe_fail` is a dictionary miss — the
+production cost of the hooks is one ``os.environ.get`` per call site.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "CHAOS_ENV",
+    "ChaosInjector",
+    "ChaosSpec",
+    "DeterministicChaosError",
+    "TransientChaosError",
+    "chaos_from_env",
+    "maybe_fail",
+    "set_chaos",
+]
+
+CHAOS_ENV = "RLPLANNER_CHAOS"
+
+MODES = ("crash", "hang", "raise")
+
+#: Injection points instrumented in this codebase (documentation +
+#: validation; firing at an unknown point is a configuration typo).
+KNOWN_POINTS = (
+    "scheduler.job",
+    "collector.init",
+    "collector.slice",
+    "store.write",
+)
+
+
+class TransientChaosError(OSError):
+    """Injected fault the retry policy classifies as transient."""
+
+
+class DeterministicChaosError(RuntimeError):
+    """Injected fault that reproduces on every attempt (never retried)."""
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One configured fault: where, what, how often.
+
+    ``match`` is a substring filter on the injection point's *detail*
+    string (e.g. the scheduler passes the job id, the collector the
+    slice's start index) — empty matches everything.  ``times`` caps
+    fires (0 = unlimited); ``dir`` makes the cap hold across processes
+    via sentinel files.  ``hang_s`` is the sleep for ``hang`` mode, and
+    ``error`` picks the exception family for ``raise`` mode.
+    """
+
+    point: str
+    mode: str = "raise"
+    match: str = ""
+    times: int = 1
+    error: str = "transient"  # "transient" | "deterministic"
+    hang_s: float = 3600.0
+    dir: str | None = None
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ValueError(f"chaos mode must be one of {MODES}, got {self.mode!r}")
+        if self.point not in KNOWN_POINTS:
+            raise ValueError(
+                f"unknown chaos point {self.point!r}; known: {KNOWN_POINTS}"
+            )
+        if self.error not in ("transient", "deterministic"):
+            raise ValueError(f"chaos error must be transient|deterministic, got {self.error!r}")
+        if self.times < 0:
+            raise ValueError("times must be >= 0 (0 = unlimited)")
+
+
+class ChaosInjector:
+    """Evaluates configured :class:`ChaosSpec` s at injection points."""
+
+    def __init__(self, specs):
+        self.specs = tuple(specs)
+        self._local_fires = [0] * len(self.specs)
+
+    def _claim(self, index: int, spec: ChaosSpec) -> bool:
+        """Reserve one fire slot for ``spec``; False when exhausted."""
+        if spec.times == 0:
+            return True
+        if spec.dir is None:
+            if self._local_fires[index] >= spec.times:
+                return False
+            self._local_fires[index] += 1
+            return True
+        root = Path(spec.dir)
+        root.mkdir(parents=True, exist_ok=True)
+        for slot in range(spec.times):
+            sentinel = root / f"{spec.point}.{index}.{slot}"
+            try:
+                fd = os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.write(fd, f"pid={os.getpid()}\n".encode("utf-8"))
+            os.close(fd)
+            return True
+        return False
+
+    def maybe_fail(self, point: str, detail: str = "") -> None:
+        """Fire every matching spec at ``point`` (crash/hang/raise)."""
+        for index, spec in enumerate(self.specs):
+            if spec.point != point or spec.match not in detail:
+                continue
+            if not self._claim(index, spec):
+                continue
+            self._fire(spec, point, detail)
+
+    @staticmethod
+    def _fire(spec: ChaosSpec, point: str, detail: str) -> None:
+        message = f"chaos[{spec.mode}] at {point} ({detail or 'unmatched'})"
+        print(message, file=sys.stderr, flush=True)
+        if spec.mode == "crash":
+            # SIGKILL ourselves: no cleanup, no exception transport —
+            # exactly what a machine death looks like to the parent.
+            os.kill(os.getpid(), signal.SIGKILL)
+        if spec.mode == "hang":
+            time.sleep(spec.hang_s)
+            return
+        if spec.error == "deterministic":
+            raise DeterministicChaosError(message)
+        raise TransientChaosError(message)
+
+
+def _parse(raw: str) -> ChaosInjector:
+    document = json.loads(raw)
+    if isinstance(document, dict):
+        document = [document]
+    return ChaosInjector([ChaosSpec(**entry) for entry in document])
+
+
+# Programmatic override (tests) > environment.  The env parse is cached
+# on the raw string so per-call overhead stays one dict lookup.
+_OVERRIDE: ChaosInjector | None = None
+_ENV_CACHE: tuple = (None, None)  # (raw string, injector)
+
+
+def set_chaos(injector: ChaosInjector | None) -> None:
+    """Install (or with ``None`` clear) a process-local injector."""
+    global _OVERRIDE
+    _OVERRIDE = injector
+
+
+def chaos_from_env() -> ChaosInjector | None:
+    """The active injector: the override, else ``RLPLANNER_CHAOS``."""
+    global _ENV_CACHE
+    if _OVERRIDE is not None:
+        return _OVERRIDE
+    raw = os.environ.get(CHAOS_ENV)
+    if not raw:
+        return None
+    if _ENV_CACHE[0] != raw:
+        _ENV_CACHE = (raw, _parse(raw))
+    return _ENV_CACHE[1]
+
+
+def maybe_fail(point: str, detail: str = "") -> None:
+    """Injection-point hook; a no-op unless chaos is configured."""
+    injector = chaos_from_env()
+    if injector is not None:
+        injector.maybe_fail(point, detail)

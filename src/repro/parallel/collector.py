@@ -35,15 +35,35 @@ across episodes — episode ``k``'s trajectory depends on every draw
 before it — so it cannot be sharded without changing its golden-pinned
 results; the trainer falls back to in-process collection for it
 (loudly).
+
+**Fault tolerance.**  Because every slice is a pure function of the
+broadcast weights and its ``episode.{index}`` SeedSequence streams,
+losing a worker loses no information: :meth:`EpisodeCollector.collect`
+detects dead workers (``BrokenProcessPool``) and stalled epochs (no
+slice completing within ``slice_timeout``), rebuilds the pool on fresh
+processes, and re-dispatches exactly the missing slices — the merged
+epoch is **bitwise identical** to an undisturbed one (regression-
+pinned).  After ``max_pool_failures`` consecutive failed rounds the
+collector degrades to in-process collection (same
+:func:`collect_slice` loop, still bitwise) instead of fighting a
+broken machine.  A worker-initializer failure is captured in the
+worker and re-raised promptly as a
+:class:`~repro.parallel.faults.WorkerInitError` carrying the real
+traceback, never surfacing as an opaque ``BrokenProcessPool``.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import time
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as futures_wait
 
 import numpy as np
 
 from repro.nn import dumps_payload, loads_payload
+from repro.parallel import chaos
+from repro.parallel.faults import RetryPolicy, WorkerInitError
 from repro.rl import Episode
 from repro.utils import SeedSequence, get_logger
 
@@ -194,27 +214,43 @@ def _init_worker(
     Runs once per worker process.  The network's init weights are
     irrelevant — every task starts by loading the broadcast weights —
     so a fixed dummy RNG keeps construction cheap and seed-independent.
+
+    A construction failure (bad env config, missing table file...) is
+    **captured**, not raised: an initializer that raises kills the
+    worker, the executor respawns it, it dies again, and the parent
+    eventually sees an opaque ``BrokenProcessPool`` with the real
+    traceback lost to a worker's stderr.  Instead the failure is parked
+    in the worker state and the first task re-raises it as a
+    :class:`WorkerInitError` carrying the full traceback — promptly and
+    debuggably.
     """
     global _WORKER_STATE
-    # Imported here, not at module level: repro.agent.__init__ imports
-    # the trainer, which imports this module — a module-level import of
-    # the networks would close that cycle during interpreter start-up.
-    from repro.agent.networks import ActorCritic
-    from repro.env import BatchedFloorplanEnv, FloorplanEnv
+    try:
+        chaos.maybe_fail("collector.init")
+        # Imported here, not at module level: repro.agent.__init__
+        # imports the trainer, which imports this module — a module-
+        # level import of the networks would close that cycle during
+        # interpreter start-up.
+        from repro.agent.networks import ActorCritic
+        from repro.env import BatchedFloorplanEnv, FloorplanEnv
 
-    env = FloorplanEnv(system, reward_calculator, env_config)
-    network = ActorCritic(
-        env.observation_shape,
-        env.n_actions,
-        channels=channels,
-        rng=np.random.default_rng(0),
-    )
-    _WORKER_STATE = {
-        "network": network,
-        "batched_env": BatchedFloorplanEnv(system, reward_calculator, env_config),
-        "seeds": SeedSequence(seed),
-        "batch_size": batch_size,
-    }
+        env = FloorplanEnv(system, reward_calculator, env_config)
+        network = ActorCritic(
+            env.observation_shape,
+            env.n_actions,
+            channels=channels,
+            rng=np.random.default_rng(0),
+        )
+        _WORKER_STATE = {
+            "network": network,
+            "batched_env": BatchedFloorplanEnv(
+                system, reward_calculator, env_config
+            ),
+            "seeds": SeedSequence(seed),
+            "batch_size": batch_size,
+        }
+    except BaseException:  # noqa: BLE001 - captured for prompt re-raise
+        _WORKER_STATE = {"init_error": traceback.format_exc()}
 
 
 def _collect_remote(
@@ -224,6 +260,11 @@ def _collect_remote(
     state = _WORKER_STATE
     if state is None:  # pragma: no cover - initializer contract
         raise RuntimeError("collector worker was never initialized")
+    if "init_error" in state:
+        raise WorkerInitError(
+            "collection worker failed to initialize:\n" + state["init_error"]
+        )
+    chaos.maybe_fail("collector.slice", f"slice@{start_index}")
     state["network"].load_state_dict(
         loads_payload(weights, kind=POLICY_PAYLOAD_KIND)
     )
@@ -263,6 +304,23 @@ class EpisodeCollector:
         streams from it.
     encoder_channels:
         Conv widths of the actor-critic replica.
+    slice_timeout:
+        Straggler detection: if no slice completes for this many
+        seconds while work is outstanding, the epoch is declared
+        stalled, the pool's workers are killed and rebuilt, and the
+        missing slices are re-dispatched (bitwise-safe — slices are
+        pure functions of the broadcast weights and seed streams).
+        ``None`` (default) disables the stall clock.
+    policy:
+        :class:`~repro.parallel.faults.RetryPolicy` supplying the
+        backoff pauses between pool rebuilds (its attempt budget is
+        not used here — ``max_pool_failures`` bounds the rebuilds).
+    max_pool_failures:
+        After this many *consecutive* failed dispatch rounds (a round
+        that completes at least one slice resets the count), the
+        collector stops fighting the machine and degrades to
+        in-process collection — same :func:`collect_slice` loop, so
+        still bitwise — for the rest of its life.
 
     Workers spawn lazily on the first :meth:`collect` and persist
     across epochs; :meth:`close` (or the context manager) releases
@@ -281,6 +339,9 @@ class EpisodeCollector:
         batch_size: int,
         seed: int,
         encoder_channels: tuple = (16, 32, 32),
+        slice_timeout: float | None = None,
+        policy: RetryPolicy | None = None,
+        max_pool_failures: int = 3,
     ):
         if jobs < 2:
             raise ValueError("EpisodeCollector needs jobs >= 2")
@@ -290,8 +351,15 @@ class EpisodeCollector:
                 "(batch_size >= 2); the sequential engine's episodes "
                 "share one action stream and cannot be sharded bitwise"
             )
+        if max_pool_failures < 1:
+            raise ValueError("max_pool_failures must be >= 1")
         self.jobs = jobs
         self.batch_size = batch_size
+        self.slice_timeout = slice_timeout
+        self.policy = policy if policy is not None else RetryPolicy()
+        self.max_pool_failures = max_pool_failures
+        self._env_args = (system, reward_calculator, env_config)
+        self._seed = seed
         self._initargs = (
             system,
             reward_calculator,
@@ -301,11 +369,20 @@ class EpisodeCollector:
             seed,
         )
         self._pool: ProcessPoolExecutor | None = None
+        self._consecutive_failures = 0
+        self._degraded = False
+        self._fallback_env = None
+        self._fallback_seeds: SeedSequence | None = None
 
     @property
     def active(self) -> bool:
         """Whether worker processes are currently alive."""
         return self._pool is not None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the collector has fallen back to in-process collection."""
+        return self._degraded
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -317,6 +394,64 @@ class EpisodeCollector:
             )
         return self._pool
 
+    def _teardown_pool(self) -> None:
+        """Kill the worker processes and forget the pool (hung-safe).
+
+        ``shutdown(wait=True)`` would block on a hung worker forever;
+        instead the process table is snapshotted, the executor is
+        abandoned with ``cancel_futures``, and the workers are
+        terminated outright.  Slices are side-effect-free, so a killed
+        worker loses nothing that re-dispatch cannot reproduce.
+        """
+        if self._pool is None:
+            return
+        workers = list((getattr(self._pool, "_processes", None) or {}).values())
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        for process in workers:
+            if process.is_alive():
+                process.terminate()
+        self._pool = None
+
+    def _collect_in_process(
+        self, network, slices: list, greedy: bool
+    ) -> dict:
+        """Run ``slices`` through the same lockstep loop, in the parent.
+
+        The degradation path: builds a lazily cached
+        ``BatchedFloorplanEnv`` replica and reuses the trainer's own
+        ``network`` directly (the broadcast payload holds the same
+        weights bit-for-bit, so pool and in-process collection agree).
+        """
+        if self._fallback_env is None:
+            from repro.env import BatchedFloorplanEnv
+
+            self._fallback_env = BatchedFloorplanEnv(*self._env_args)
+            self._fallback_seeds = SeedSequence(self._seed)
+        return {
+            index: collect_slice(
+                network,
+                self._fallback_env,
+                self._fallback_seeds,
+                start,
+                size,
+                self.batch_size,
+                greedy=greedy,
+            )
+            for index, (start, size) in slices
+        }
+
+    def _degrade(self, reason: str) -> None:
+        _logger.error(
+            "collection pool failed %d consecutive round(s) (%s); "
+            "degrading to in-process collection for the rest of this "
+            "run — results stay bitwise identical, only wall clock "
+            "suffers",
+            self._consecutive_failures,
+            reason,
+        )
+        self._teardown_pool()
+        self._degraded = True
+
     def collect(
         self, network, start_index: int, count: int, greedy: bool = False
     ) -> list:
@@ -326,26 +461,124 @@ class EpisodeCollector:
         slices over the workers, and returns ``[(Episode, info), ...]``
         merged in strict index order — bitwise identical to one
         in-process :func:`collect_slice` over the same range.
+
+        Survives worker loss: dead workers (``BrokenProcessPool``) and
+        stalled epochs (``slice_timeout``) trigger a pool rebuild and
+        re-dispatch of exactly the slices that never completed.  A
+        deterministic exception from a slice (a real bug) propagates
+        immediately; so does :class:`WorkerInitError` (rebuilt workers
+        would fail construction identically).  After
+        ``max_pool_failures`` consecutive failed rounds the remaining
+        slices run in-process and the collector stays degraded.
         """
-        pool = self._ensure_pool()
-        weights = dumps_payload(network.state_dict(), kind=POLICY_PAYLOAD_KIND)
-        futures = [
-            pool.submit(_collect_remote, weights, start, size, greedy)
-            for start, size in partition_episodes(
-                start_index, count, self.batch_size, self.jobs
+        slices = list(
+            enumerate(
+                partition_episodes(
+                    start_index, count, self.batch_size, self.jobs
+                )
             )
-        ]
+        )
+        results: dict = {}
+        if self._degraded:
+            results = self._collect_in_process(network, slices, greedy)
+            return self._merge(results, slices)
+        weights = dumps_payload(network.state_dict(), kind=POLICY_PAYLOAD_KIND)
         try:
-            # Futures are ordered by slice start, so concatenation IS
-            # the fixed index-order merge the best-placement selection
-            # relies on.
-            parts = [future.result() for future in futures]
+            while True:
+                missing = [item for item in slices if item[0] not in results]
+                if not missing:
+                    break
+                if self._consecutive_failures >= self.max_pool_failures:
+                    self._degrade("giving up on the pool")
+                    results.update(
+                        self._collect_in_process(network, missing, greedy)
+                    )
+                    break
+                round_failure = self._dispatch_round(
+                    weights, missing, results, greedy
+                )
+                if round_failure is None:
+                    self._consecutive_failures = 0
+                else:
+                    self._consecutive_failures += 1
+                    _logger.warning(
+                        "collection round failed (%s); rebuilding the pool "
+                        "and re-dispatching %d missing slice(s) "
+                        "[failure %d/%d]",
+                        round_failure,
+                        sum(
+                            1
+                            for item in slices
+                            if item[0] not in results
+                        ),
+                        self._consecutive_failures,
+                        self.max_pool_failures,
+                    )
+                    self._teardown_pool()
+                    if self._consecutive_failures < self.max_pool_failures:
+                        time.sleep(
+                            self.policy.backoff(
+                                "collector", self._consecutive_failures
+                            )
+                        )
         except BaseException:
-            # Worker failure or Ctrl-C in the parent: never strand the
-            # pool — cancel queued slices and abandon the rest.
+            # Real bug, WorkerInitError, or Ctrl-C in the parent: never
+            # strand the pool — cancel queued slices and abandon the rest.
             self.close(wait=False)
             raise
-        return [pair for part in parts for pair in part]
+        return self._merge(results, slices)
+
+    def _dispatch_round(
+        self, weights: bytes, missing: list, results: dict, greedy: bool
+    ) -> str | None:
+        """One pool dispatch of ``missing``; fills ``results`` in place.
+
+        Returns ``None`` on full success, else a short description of
+        the failure (the round should be retried on a fresh pool).
+        Deterministic slice exceptions and init failures are raised,
+        not returned — they would reproduce on any pool.
+        """
+        pool = self._ensure_pool()
+        futures = {
+            pool.submit(_collect_remote, weights, start, size, greedy): index
+            for index, (start, size) in missing
+        }
+        pending = set(futures)
+        while pending:
+            finished, pending = futures_wait(
+                pending,
+                timeout=self.slice_timeout,
+                return_when=FIRST_COMPLETED,
+            )
+            if not finished:
+                # Straggler: nothing completed inside the stall window.
+                return (
+                    f"no slice completed within slice_timeout="
+                    f"{self.slice_timeout:.1f}s"
+                )
+            for future in finished:
+                error = future.exception()
+                if error is None:
+                    results[futures[future]] = future.result()
+                elif self.policy.is_transient(error):
+                    # Dead worker / broken pool: sibling futures are
+                    # lost with it; report the round failed.
+                    return f"worker lost: {error!r}"
+                else:
+                    # A real exception from the slice itself (or a
+                    # WorkerInitError): reproduces on retry — raise.
+                    raise error
+        return None
+
+    @staticmethod
+    def _merge(results: dict, slices: list) -> list:
+        # Slices are keyed by their partition index, so concatenation
+        # in that order IS the fixed index-order merge the
+        # best-placement selection relies on — however many dispatch
+        # rounds (or the in-process fallback) produced them.
+        return [
+            pair for index, _ in slices for pair in results[index]
+        ]
 
     def close(self, wait: bool = True) -> None:
         """Release the worker processes (idempotent)."""

@@ -1,4 +1,4 @@
-"""Dependency-aware job scheduler over a process pool.
+"""Dependency-aware job scheduler over supervised worker processes.
 
 Design constraints, in order:
 
@@ -19,11 +19,22 @@ Design constraints, in order:
    runtime this way).  Requiring ``needs`` to point at earlier
    submissions keeps the graph acyclic by construction and makes the
    sequential fallback trivially dependency-correct.
+4. **Fault tolerance.**  Each job runs in its *own supervised worker
+   process* (``multiprocessing.Process`` + pipe), which is what makes
+   per-job fault attribution possible: a crash kills exactly one job's
+   worker, a straggler past its ``job_timeout`` is killed without
+   collateral damage, and both are retried on a fresh worker under the
+   :class:`~repro.parallel.faults.RetryPolicy` (exponential backoff,
+   seeded jitter).  Deterministic failures are never retried; with
+   ``keep_going=True`` they are *quarantined* — their dependency-
+   downstream jobs are skipped and every independent job still runs —
+   and the caller reads the triage from a
+   :class:`~repro.parallel.faults.SweepReport`.
 
 Job functions must be importable top-level callables and their kwargs
-picklable — the usual :mod:`multiprocessing` contract.  A failed job
-raises :class:`JobFailedError` in the parent (after cancelling what can
-still be cancelled) rather than silently dropping results.
+picklable — the usual :mod:`multiprocessing` contract.  A permanently
+failed job raises :class:`JobFailedError` in the parent (without
+waiting for unrelated in-flight siblings) unless ``keep_going`` is set.
 
 **Run-store integration.**  A spec may carry a ``store_key`` (a
 :func:`repro.store.store_key` digest).  When ``run_jobs`` is given a
@@ -33,20 +44,50 @@ mapping (and feeds dependents' ``inject`` hooks) directly, which is
 what makes re-running a completed sweep with ``--resume`` execute zero
 method-arm jobs.  Keyed jobs that do execute have their result
 published to the store on completion (in the parent, atomically).
-With ``store=None`` the scheduler behaves exactly as before.
+With ``store=None`` the scheduler behaves exactly as before.  The
+store also makes retries cheap: a retried job resumes from its own
+in-flight checkpoint slot rather than recomputing from scratch.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
+import multiprocessing
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import pickle
+import threading
+import time
+import traceback
 from dataclasses import dataclass, field
+from multiprocessing.connection import wait
 
+from repro.parallel import chaos
+from repro.parallel.faults import (
+    JobOutcome,
+    JobTimeoutError,
+    RetryPolicy,
+    SweepReport,
+    WorkerCrashError,
+)
 from repro.utils import get_logger
 
-__all__ = ["JobFailedError", "JobSpec", "resolve_jobs", "run_jobs"]
+__all__ = [
+    "JobFailedError",
+    "JobSpec",
+    "RemoteTraceback",
+    "resolve_jobs",
+    "run_jobs",
+]
 
 _logger = get_logger("parallel.scheduler")
+
+#: Grace period between SIGTERM and SIGKILL when stopping a worker.
+_TERMINATE_GRACE_S = 5.0
+
+#: Supervisor poll ceiling: an upper bound on how long the parent waits
+#: on worker pipes before re-checking deadlines and retry timers.
+_POLL_S = 0.5
 
 
 class JobFailedError(RuntimeError):
@@ -56,6 +97,19 @@ class JobFailedError(RuntimeError):
         super().__init__(f"job {job_id!r} failed: {cause!r}")
         self.job_id = job_id
         self.cause = cause
+
+
+class RemoteTraceback(RuntimeError):
+    """A worker raised an exception whose object could not be pickled.
+
+    Carries the remote type name and formatted traceback so the
+    failure is still debuggable; classified deterministic (retrying
+    re-raises the same unpicklable error).
+    """
+
+    def __init__(self, type_name: str, message: str, trace: str):
+        super().__init__(f"{type_name}: {message}\n{trace}")
+        self.type_name = type_name
 
 
 @dataclass
@@ -168,22 +222,51 @@ def resolve_jobs(value) -> int:
     return jobs
 
 
-def run_jobs(specs, jobs: int = 1, store=None) -> dict:
+def run_jobs(
+    specs,
+    jobs: int = 1,
+    store=None,
+    *,
+    policy: RetryPolicy | None = None,
+    job_timeout: float | None = None,
+    keep_going: bool = False,
+    report: SweepReport | None = None,
+) -> dict:
     """Execute ``specs``; return ``{job_id: result}`` in submission order.
 
     ``jobs=1`` runs in process and in submission order — the bit-exact
     sequential path.  ``jobs>1`` dispatches every dependency-free job to
-    a pool of that many worker processes and releases dependents as
-    their ``needs`` complete.
+    its own supervised worker process (at most ``jobs`` concurrent) and
+    releases dependents as their ``needs`` complete.
 
     ``store`` (a :class:`repro.store.RunStore`) makes keyed jobs
     resumable: published results are returned without executing the
     job, and newly computed results are published.
+
+    Fault tolerance:
+
+    * ``policy`` (default :class:`RetryPolicy`) retries *transiently*
+      failed jobs — dead workers, ``OSError``/timeouts — on a fresh
+      worker with exponential, seeded-jitter backoff.  Deterministic
+      exceptions reproduce on retry and are never retried.
+    * ``job_timeout`` kills and retries any single job running longer
+      than this many seconds (``jobs>1`` only: an in-process job cannot
+      be preempted).
+    * ``keep_going=False`` (default) raises :class:`JobFailedError` on
+      the first permanent failure, without waiting for unrelated
+      in-flight siblings.  ``keep_going=True`` *quarantines* permanent
+      failures, skips only their dependency-downstream jobs, completes
+      the rest of the graph, and returns results for every surviving
+      job (quarantined/skipped ids are absent from the mapping).
+    * ``report`` (a :class:`SweepReport`) receives the per-job outcome
+      triage either way.
     """
     specs = list(specs)
     if jobs < 1:
         raise ValueError("jobs must be >= 1")
     _validate(specs)
+    policy = policy if policy is not None else RetryPolicy()
+    report = report if report is not None else SweepReport()
     if not specs:
         return {}
     done: dict = {}
@@ -196,13 +279,20 @@ def run_jobs(specs, jobs: int = 1, store=None) -> dict:
                 if hit:
                     _logger.info("store hit, skipping %s", spec.job_id)
                     done[spec.job_id] = value
+                    report.record(JobOutcome(spec.job_id, "cached"))
                     continue
             pending.append(spec)
     if jobs == 1:
-        _run_sequential(pending, done, store)
+        _run_sequential(pending, done, store, policy, keep_going, report)
     else:
-        _run_pooled(pending, jobs, done, store)
-    return {spec.job_id: done[spec.job_id] for spec in specs}
+        _run_supervised(
+            pending, jobs, done, store, policy, job_timeout, keep_going, report
+        )
+    return {
+        spec.job_id: done[spec.job_id]
+        for spec in specs
+        if spec.job_id in done
+    }
 
 
 def _publish(store, spec: JobSpec, result) -> None:
@@ -210,68 +300,399 @@ def _publish(store, spec: JobSpec, result) -> None:
         store.put(spec.store_key, result)
 
 
-def _run_sequential(specs: list, done: dict, store=None) -> None:
+def _blocking_dep(spec: JobSpec, report: SweepReport) -> str | None:
+    """The first dependency of ``spec`` that can never complete."""
+    for dep in spec.needs:
+        outcome = report.outcomes.get(dep)
+        if outcome is not None and outcome.status in ("quarantined", "skipped"):
+            return dep
+    return None
+
+
+def _record_skip(spec: JobSpec, blocked_by: str, report: SweepReport) -> None:
+    _logger.warning(
+        "skipping %s: dependency %s was quarantined", spec.job_id, blocked_by
+    )
+    report.record(
+        JobOutcome(spec.job_id, "skipped", attempts=0, blocked_by=blocked_by)
+    )
+
+
+def _run_sequential(
+    specs: list,
+    done: dict,
+    store,
+    policy: RetryPolicy,
+    keep_going: bool,
+    report: SweepReport,
+) -> None:
+    """In-process execution, bit-for-bit the pre-scheduler harness.
+
+    Fault handling layers *around* the job call, never inside it: with
+    no failures the executed code path is byte-identical to the
+    original loop.  Transient failures retry after the policy backoff;
+    deterministic failures raise directly (the historical contract) or
+    quarantine under ``keep_going``.  Timeouts do not apply — an
+    in-process job cannot be preempted.
+    """
     for spec in specs:
-        done[spec.job_id] = spec.fn(**spec.resolved_kwargs(done))
-        _publish(store, spec, done[spec.job_id])
+        blocked_by = _blocking_dep(spec, report)
+        if blocked_by is not None:
+            _record_skip(spec, blocked_by, report)
+            continue
+        attempt = 1
+        while True:
+            try:
+                chaos.maybe_fail("scheduler.job", spec.job_id)
+                result = spec.fn(**spec.resolved_kwargs(done))
+            except Exception as error:
+                if policy.is_transient(error) and attempt < policy.max_attempts:
+                    delay = policy.backoff(spec.job_id, attempt)
+                    _logger.warning(
+                        "%s failed transiently (%r), attempt %d/%d; "
+                        "retrying in %.2fs",
+                        spec.job_id,
+                        error,
+                        attempt,
+                        policy.max_attempts,
+                        delay,
+                    )
+                    time.sleep(delay)
+                    attempt += 1
+                    continue
+                if keep_going:
+                    _logger.error(
+                        "quarantining %s after %d attempt(s): %r",
+                        spec.job_id,
+                        attempt,
+                        error,
+                    )
+                    report.record(
+                        JobOutcome.failure(
+                            spec.job_id, "quarantined", attempt, error
+                        )
+                    )
+                    break
+                raise
+            else:
+                done[spec.job_id] = result
+                _publish(store, spec, result)
+                report.record(
+                    JobOutcome(
+                        spec.job_id,
+                        "succeeded" if attempt == 1 else "retried",
+                        attempts=attempt,
+                    )
+                )
+                break
 
 
-def _run_pooled(specs: list, jobs: int, done: dict, store=None) -> None:
-    by_id = {spec.job_id: spec for spec in specs}
-    waiting = list(specs)
-    futures = {}  # future -> job_id
-    # Deliberately NOT a ``with`` block: the context manager's __exit__
-    # is shutdown(wait=True), which would hold a failure — or a Ctrl-C —
-    # hostage until every in-flight job finishes (minutes on real
-    # budgets).  Errors instead abandon the pool immediately below.
-    pool = ProcessPoolExecutor(max_workers=jobs)
+# ----------------------------------------------------------------------
+# supervised workers (jobs > 1)
+# ----------------------------------------------------------------------
+
+
+def _supervised_main(conn, fn, kwargs, job_id: str) -> None:
+    """Worker entry: run one job, report ``("ok"|"error", payload)``.
+
+    The envelope travels over a dedicated pipe.  An exception whose
+    *object* fails to pickle degrades to a :class:`RemoteTraceback`
+    envelope (type name + formatted traceback) instead of poisoning the
+    channel — the parent still gets a classifiable, debuggable error.
+    """
     try:
-        def dispatch_ready() -> None:
-            still_waiting = []
-            for spec in waiting:
-                if all(dep in done for dep in spec.needs):
-                    _logger.debug("dispatching %s", spec.job_id)
-                    future = pool.submit(spec.fn, **spec.resolved_kwargs(done))
-                    futures[future] = spec.job_id
-                else:
-                    still_waiting.append(spec)
-            waiting[:] = still_waiting
+        chaos.maybe_fail("scheduler.job", job_id)
+        payload = ("ok", fn(**kwargs))
+    except BaseException as error:  # noqa: BLE001 - supervisor boundary
+        payload = ("error", error)
+    try:
+        conn.send(payload)
+    except Exception:
+        # Unpicklable result/exception: nothing was written (pickling
+        # happens before any bytes hit the pipe), so the channel is
+        # still clean for the fallback envelope.
+        if payload[0] == "ok":
+            error = TypeError(
+                f"job {job_id!r} returned an unpicklable result"
+            )
+            trace = ""
+        else:
+            error = payload[1]
+            trace = "".join(
+                traceback.format_exception(
+                    type(error), error, error.__traceback__
+                )
+            )
+        conn.send(
+            ("error", RemoteTraceback(type(error).__name__, str(error), trace))
+        )
+    finally:
+        conn.close()
 
+
+@dataclass
+class _Running:
+    """Supervisor-side handle of one in-flight job attempt."""
+
+    spec: JobSpec
+    attempt: int
+    process: multiprocessing.Process
+    conn: object
+    started: float
+
+    def deadline(self, job_timeout) -> float | None:
+        return None if job_timeout is None else self.started + job_timeout
+
+
+def _start_worker(spec: JobSpec, attempt: int, done: dict) -> _Running:
+    parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+    process = multiprocessing.Process(
+        target=_supervised_main,
+        args=(child_conn, spec.fn, spec.resolved_kwargs(done), spec.job_id),
+        name=f"job-{spec.job_id}",
+    )
+    process.start()
+    child_conn.close()  # parent keeps only its end; EOF tracks the child
+    _logger.debug(
+        "dispatched %s (attempt %d, pid %d)", spec.job_id, attempt, process.pid
+    )
+    return _Running(spec, attempt, process, parent_conn, time.monotonic())
+
+
+def _stop_worker(rec: _Running) -> None:
+    """SIGTERM, then SIGKILL, then reap one worker process."""
+    process = rec.process
+    if process.is_alive():
+        process.terminate()
+        process.join(_TERMINATE_GRACE_S)
+        if process.is_alive():  # pragma: no cover - SIGTERM blocked
+            process.kill()
+            process.join(_TERMINATE_GRACE_S)
+    rec.conn.close()
+
+
+def _drain_in_background(running: list) -> None:
+    """Let in-flight siblings finish after a fail-fast raise.
+
+    Their worker-side publishes salvage real work (method arms publish
+    to the run store from the worker), but nobody will read their
+    pipes — and a result larger than the pipe buffer would block the
+    child's ``send`` forever, deadlocking interpreter exit on the
+    ``multiprocessing`` join.  A daemon thread drains and reaps them
+    without holding up the failure.
+    """
+
+    def drain(rec: _Running) -> None:
+        try:
+            rec.conn.recv()
+        except (EOFError, OSError):
+            pass
+        finally:
+            rec.conn.close()
+        rec.process.join()
+
+    for rec in running:
+        threading.Thread(target=drain, args=(rec,), daemon=True).start()
+
+
+def _receive(rec: _Running):
+    """Collect a finished worker's envelope: ``("ok"|"error", payload)``.
+
+    A worker that died without sending (crash, SIGKILL, interpreter
+    abort) yields a transient :class:`WorkerCrashError` carrying its
+    exit code.
+    """
+    message = None
+    try:
+        if rec.conn.poll():
+            message = rec.conn.recv()
+    except (EOFError, OSError, pickle.UnpicklingError) as error:
+        message = ("error", WorkerCrashError(f"result channel broke: {error!r}"))
+    rec.process.join()
+    rec.conn.close()
+    if message is None:
+        code = rec.process.exitcode
+        message = (
+            "error",
+            WorkerCrashError(
+                f"worker for {rec.spec.job_id!r} died without a result "
+                f"(exitcode {code})"
+            ),
+        )
+    return message
+
+
+def _run_supervised(
+    specs: list,
+    jobs: int,
+    done: dict,
+    store,
+    policy: RetryPolicy,
+    job_timeout: float | None,
+    keep_going: bool,
+    report: SweepReport,
+) -> None:
+    """Supervise up to ``jobs`` concurrent single-job worker processes.
+
+    Per-job fault attribution is the reason this is not a shared pool:
+    a crash or straggler kill touches exactly one job, so siblings keep
+    their workers and their wall clock.  Retries always get a fresh
+    process (a poisoned interpreter state cannot leak into the retry).
+    """
+    waiting = list(specs)
+    running: list = []
+    retries: list = []  # heap of (ready_time, tiebreak, spec, next_attempt)
+    tiebreak = itertools.count()
+
+    def fail(rec_spec: JobSpec, attempt: int, error: BaseException) -> None:
+        transient = policy.is_transient(error)
+        if transient and attempt < policy.max_attempts:
+            delay = policy.backoff(rec_spec.job_id, attempt)
+            _logger.warning(
+                "%s failed transiently (%r), attempt %d/%d; retrying on a "
+                "fresh worker in %.2fs",
+                rec_spec.job_id,
+                error,
+                attempt,
+                policy.max_attempts,
+                delay,
+            )
+            heapq.heappush(
+                retries,
+                (time.monotonic() + delay, next(tiebreak), rec_spec, attempt + 1),
+            )
+            return
+        if keep_going:
+            _logger.error(
+                "quarantining %s after %d attempt(s): %r",
+                rec_spec.job_id,
+                attempt,
+                error,
+            )
+            report.record(
+                JobOutcome.failure(rec_spec.job_id, "quarantined", attempt, error)
+            )
+            return
+        raise JobFailedError(rec_spec.job_id, error)
+
+    def succeed(rec: _Running, result) -> None:
+        done[rec.spec.job_id] = result
+        _publish(store, rec.spec, result)
+        report.record(
+            JobOutcome(
+                rec.spec.job_id,
+                "succeeded" if rec.attempt == 1 else "retried",
+                attempts=rec.attempt,
+            )
+        )
+
+    def dispatch_ready() -> None:
+        now = time.monotonic()
+        while retries and len(running) < jobs and retries[0][0] <= now:
+            _, _, spec, attempt = heapq.heappop(retries)
+            running.append(_start_worker(spec, attempt, done))
+        still_waiting = []
+        for spec in waiting:
+            blocked_by = _blocking_dep(spec, report)
+            if blocked_by is not None:
+                _record_skip(spec, blocked_by, report)
+            elif (
+                all(dep in done for dep in spec.needs)
+                and len(running) < jobs
+            ):
+                running.append(_start_worker(spec, 1, done))
+            else:
+                still_waiting.append(spec)
+        waiting[:] = still_waiting
+
+    def poll_timeout() -> float:
+        """How long the supervisor may sleep before the next event."""
+        now = time.monotonic()
+        horizon = _POLL_S
+        if retries:
+            horizon = min(horizon, max(retries[0][0] - now, 0.0))
+        if job_timeout is not None:
+            for rec in running:
+                horizon = min(
+                    horizon, max(rec.deadline(job_timeout) - now, 0.0)
+                )
+        return horizon
+
+    try:
         dispatch_ready()
-        while futures:
-            finished, _ = wait(futures, return_when=FIRST_COMPLETED)
-            for future in finished:
-                job_id = futures.pop(future)
-                error = future.exception()
-                if error is not None:
-                    raise JobFailedError(job_id, error)
-                done[job_id] = future.result()
-                _publish(store, by_id[job_id], done[job_id])
+        while running or retries or waiting:
+            if not running:
+                if retries:
+                    # Nothing in flight; sleep until the earliest retry.
+                    time.sleep(max(retries[0][0] - time.monotonic(), 0.0))
+                    dispatch_ready()
+                    continue
+                if waiting:
+                    # Only reachable if every remaining job is blocked on
+                    # quarantined deps but escaped _blocking_dep — a bug
+                    # tripwire, as _validate guarantees forward edges.
+                    dispatch_ready()
+                    if not running and not retries and waiting:
+                        raise RuntimeError(
+                            f"{len(waiting)} jobs never became ready: "
+                            f"{[spec.job_id for spec in waiting]}"
+                        )
+                    continue
+            sentinels = {rec.process.sentinel: rec for rec in running}
+            channels = {rec.conn: rec for rec in running}
+            ready = wait(
+                list(channels) + list(sentinels), timeout=poll_timeout()
+            )
+            finished = {
+                id(rec): rec
+                for handle in ready
+                for rec in (channels.get(handle) or sentinels.get(handle),)
+            }
+            now = time.monotonic()
+            for rec in list(running):
+                if id(rec) in finished:
+                    running.remove(rec)
+                    kind, payload = _receive(rec)
+                    if kind == "ok":
+                        succeed(rec, payload)
+                    else:
+                        fail(rec.spec, rec.attempt, payload)
+                elif (
+                    job_timeout is not None
+                    and now >= rec.deadline(job_timeout)
+                ):
+                    # Straggler: past its wall-clock budget with no
+                    # result.  Kill the worker (only this job's) and
+                    # route through the normal transient-failure path.
+                    running.remove(rec)
+                    _logger.warning(
+                        "%s exceeded job_timeout=%.1fs; killing worker "
+                        "pid %d",
+                        rec.spec.job_id,
+                        job_timeout,
+                        rec.process.pid,
+                    )
+                    _stop_worker(rec)
+                    fail(
+                        rec.spec,
+                        rec.attempt,
+                        JobTimeoutError(
+                            f"{rec.spec.job_id!r} exceeded "
+                            f"{job_timeout:.1f}s wall clock"
+                        ),
+                    )
             dispatch_ready()
     except BaseException as error:
-        # Fail fast: drop queued futures and do NOT wait for in-flight
-        # siblings — surface the failure (or KeyboardInterrupt) now.
-        # Completed keyed jobs were already published atomically as
-        # they finished, so an interrupted sweep stays --resume-able;
-        # the failing/cancelled jobs simply never published.
-        # Snapshot before shutdown(): it nulls the process table.
-        workers = list((getattr(pool, "_processes", None) or {}).values())
-        pool.shutdown(wait=False, cancel_futures=True)
         if isinstance(error, KeyboardInterrupt):
-            # A job failure lets in-flight siblings drain (their
-            # worker-side publishes salvage real work), but Ctrl-C
-            # means *stop now*: undrained workers would keep the
-            # interpreter alive at exit (the executor's atexit hook
-            # joins them), holding the terminal for as long as the
-            # longest in-flight arm.  Terminating them is safe — every
-            # store write is atomic, so a killed job simply never
-            # published and restarts from its last checkpoint.
-            for process in workers:
-                process.terminate()
+            # Ctrl-C means *stop now*: kill in-flight workers instead of
+            # letting them grind on behind a dead sweep.  Every store
+            # write is atomic, so a killed job simply never published
+            # and restarts from its last checkpoint under --resume.
+            for rec in running:
+                _stop_worker(rec)
+        else:
+            # Fail fast but salvage: surface the failure immediately
+            # while in-flight siblings drain in the background (their
+            # worker-side publishes are real work; see the helper).
+            _drain_in_background(running)
         raise
-    pool.shutdown(wait=True)
-    if waiting:  # unreachable given _validate, kept as a tripwire
-        raise RuntimeError(
-            f"{len(waiting)} jobs never became ready: "
-            f"{[spec.job_id for spec in waiting]}"
-        )

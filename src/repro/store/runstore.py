@@ -38,7 +38,11 @@ import json
 import pickle
 from pathlib import Path
 
+from repro.parallel import chaos
 from repro.parallel.cache import FileLock, atomic_replace
+from repro.utils import get_logger
+
+_logger = get_logger("store.runstore")
 
 __all__ = ["DEFAULT_STORE_DIR", "RunStore", "STORE_SCHEMA_VERSION", "store_key"]
 
@@ -165,11 +169,37 @@ class RunStore:
             blob = path.read_bytes()
         except FileNotFoundError:
             return _MISS
-        return pickle.loads(blob)
+        try:
+            return pickle.loads(blob)
+        except Exception:
+            # Truncated/corrupt artifact (torn disk, killed writer on a
+            # filesystem without atomic replace...).  Quarantine it —
+            # rename to ``*.corrupt`` so it stops being addressed and
+            # stays around for a post-mortem — and report a miss: the
+            # unit simply re-runs, which is always safe (results are
+            # pure functions of their key).
+            RunStore._quarantine(path)
+            return _MISS
+
+    @staticmethod
+    def _quarantine(path: Path) -> None:
+        target = path.with_name(path.name + ".corrupt")
+        with FileLock(path.with_name(path.name + ".lock")):
+            try:
+                path.replace(target)
+            except FileNotFoundError:
+                return  # another reader quarantined it first
+        _logger.warning(
+            "quarantined corrupt store artifact %s -> %s; treating as a "
+            "miss (the unit will re-run)",
+            path,
+            target.name,
+        )
 
     @staticmethod
     def _write(path: Path, value) -> None:
         blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        chaos.maybe_fail("store.write", path.name)
         with FileLock(path.with_name(path.name + ".lock")):
             with atomic_replace(path) as tmp:
                 tmp.write_bytes(blob)

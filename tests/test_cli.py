@@ -72,7 +72,7 @@ class TestBudgetConstruction:
     def test_jobs_auto_resolves_to_cpu_count(self, monkeypatch, fake_results):
         captured = {}
 
-        def fake_run_table1(budget, jobs=1, store=None):
+        def fake_run_table1(budget, jobs=1, store=None, **kwargs):
             captured["jobs"] = jobs
             captured["store"] = store
             return fake_results
@@ -86,7 +86,7 @@ class TestBudgetConstruction:
     def test_resume_builds_store(self, monkeypatch, fake_results, tmp_path):
         captured = {}
 
-        def fake_run_table1(budget, jobs=1, store=None):
+        def fake_run_table1(budget, jobs=1, store=None, **kwargs):
             captured["store"] = store
             return fake_results
 
@@ -177,7 +177,7 @@ class TestCommands:
 
         captured = {}
 
-        def fake_run_table2(n_systems, seed, jobs=1, store=None):
+        def fake_run_table2(n_systems, seed, jobs=1, store=None, **kwargs):
             captured["jobs"] = jobs
             captured["store"] = store
             return FakeResult()
@@ -224,7 +224,7 @@ class TestCommands:
     def test_ablations_dispatch(self, monkeypatch, fake_results):
         captured = {}
 
-        def fake_run_ablations(budget, jobs=1, store=None):
+        def fake_run_ablations(budget, jobs=1, store=None, **kwargs):
             captured["jobs"] = jobs
             return fake_results
 

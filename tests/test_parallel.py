@@ -208,19 +208,17 @@ class TestPoolTeardown:
         )
 
     def test_keyboard_interrupt_tears_down_pool(self, monkeypatch):
-        # A Ctrl-C while waiting on futures must shut the pool down
-        # with cancel_futures=True (dropping everything queued) and
-        # re-raise, not leave orphaned workers grinding on.
-        shutdown_calls = []
-        original_shutdown = ProcessPoolExecutor.shutdown
+        # A Ctrl-C while waiting on worker pipes must kill the in-flight
+        # supervised workers and re-raise, not leave orphaned processes
+        # grinding on behind a dead sweep.
+        stopped = []
+        original_stop = scheduler_module._stop_worker
 
-        def spy(self, wait=True, *, cancel_futures=False):
-            shutdown_calls.append((wait, cancel_futures))
-            return original_shutdown(
-                self, wait=wait, cancel_futures=cancel_futures
-            )
+        def spy(rec):
+            stopped.append(rec.spec.job_id)
+            return original_stop(rec)
 
-        monkeypatch.setattr(ProcessPoolExecutor, "shutdown", spy)
+        monkeypatch.setattr(scheduler_module, "_stop_worker", spy)
 
         def interrupted_wait(*args, **kwargs):
             raise KeyboardInterrupt
@@ -228,10 +226,15 @@ class TestPoolTeardown:
         monkeypatch.setattr(scheduler_module, "wait", interrupted_wait)
         with pytest.raises(KeyboardInterrupt):
             run_jobs([JobSpec("a", _slow_square, dict(x=2))], jobs=2)
-        assert (False, True) in shutdown_calls, (
-            f"expected shutdown(wait=False, cancel_futures=True), "
-            f"saw {shutdown_calls}"
+        assert stopped == ["a"], (
+            f"expected the in-flight worker to be stopped, saw {stopped}"
         )
+        # Siblings from other tests may still be draining; only this
+        # test's worker must be gone.
+        for process in multiprocessing.active_children():
+            assert process.name != "job-a", (
+                f"orphaned supervised worker survived Ctrl-C: {process}"
+            )
 
 
 class TestResolveJobsProbes:
