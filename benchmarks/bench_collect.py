@@ -24,6 +24,13 @@ Usage::
 
 Target (tracked in the README): ``collect_jobs=4`` collects >= 2x the
 episodes/sec of in-process collection on a >=4-core host.
+
+The **async leg** additionally times full ``train()`` runs — update
+compute included — lockstep vs ``async_collect`` at the same worker
+count, recording the actor/learner overlap speedup (epochs/sec).  Its
+>=1.3x target presumes a spare core for the learner while workers
+collect, so it too is enforced only on >=4-core hosts; smaller hosts
+still measure and record the (honest, possibly <1x) number.
 """
 
 from __future__ import annotations
@@ -101,6 +108,82 @@ def measure_window(
             return collected / elapsed
 
 
+def measure_train(
+    env: FloorplanEnv, args, async_collect: bool, jobs: int
+) -> float:
+    """Epochs/sec of one full ``train()`` run (collection + updates)."""
+    trainer = RLPlannerTrainer(
+        env,
+        TrainerConfig(
+            epochs=args.async_epochs,
+            episodes_per_epoch=args.episodes,
+            batch_size=args.batch_size,
+            collect_jobs=jobs,
+            async_collect=async_collect,
+            seed=args.seed,
+            log_every=0,
+            ppo=PPOConfig(),
+        ),
+    )
+    start = time.perf_counter()
+    try:
+        trainer.train()
+    finally:
+        trainer.close_collector()
+    return args.async_epochs / (time.perf_counter() - start)
+
+
+def run_async_leg(env: FloorplanEnv, args, cpu_count: int) -> tuple:
+    """Lockstep vs pipelined ``train()`` at the same worker count.
+
+    Returns ``(payload_fragment, exit_status)``.  Alternates the two
+    arms per round (same reasoning as the collection windows) and takes
+    medians.  The two runs compute different trajectories — async is
+    deliberately one epoch stale — so only wall clock is compared.
+    """
+    jobs = args.async_jobs
+    samples = {"lockstep": [], "async": []}
+    for round_index in range(args.rounds):
+        for arm, async_collect in (("lockstep", False), ("async", True)):
+            rate = measure_train(env, args, async_collect, jobs)
+            samples[arm].append(rate)
+            print(
+                f"round {round_index}: train[{arm:<8s}] jobs={jobs} "
+                f"{rate:8.2f} epochs/s"
+            )
+    medians = {arm: statistics.median(rates) for arm, rates in samples.items()}
+    speedup = medians["async"] / medians["lockstep"]
+    enforceable = cpu_count >= 4
+    status = 0
+    verdict = ""
+    if not args.smoke:
+        if speedup >= args.async_target:
+            verdict = "  [ok]"
+        elif not enforceable:
+            verdict = (
+                f"  [unmeasurable: overlap needs >= 4 cores, host has "
+                f"{cpu_count}]"
+            )
+        else:
+            verdict = f"  [below {args.async_target:.1f}x target]"
+            if args.strict:
+                status = 1
+    print(
+        f"async overlap speedup (jobs={jobs}, epochs={args.async_epochs}): "
+        f"{speedup:.2f}x{verdict}"
+    )
+    fragment = {
+        "collect_jobs": jobs,
+        "epochs": args.async_epochs,
+        "epochs_per_second": medians,
+        "speedup": speedup,
+        "target": args.async_target,
+        "target_enforceable_on_host": enforceable,
+        "target_met": speedup >= args.async_target,
+    }
+    return fragment, status
+
+
 def run(args) -> int:
     env = build_env(args.grid, args.system_seed)
     jobs_list = [int(j) for j in args.jobs_list.split(",")]
@@ -164,6 +247,10 @@ def run(args) -> int:
             f"{speedup:.2f}x{verdict}"
         )
 
+    print()
+    async_fragment, async_status = run_async_leg(env, args, cpu_count)
+    status = status or async_status
+
     payload = {
         "benchmark": "bench_collect",
         "mode": "smoke" if args.smoke else "full",
@@ -183,6 +270,7 @@ def run(args) -> int:
         "target_met": bool(
             speedups and speedups[jobs_list[-1]] >= args.target
         ),
+        "async_overlap": async_fragment,
     }
     out_path = Path(args.out)
     out_path.write_text(json.dumps(payload, indent=2) + "\n")
@@ -225,6 +313,24 @@ def main(argv=None) -> int:
         "--target", type=float, default=2.0, help="required speedup multiple"
     )
     parser.add_argument(
+        "--async-jobs",
+        type=int,
+        default=2,
+        help="collect_jobs for the async-overlap leg (both arms)",
+    )
+    parser.add_argument(
+        "--async-epochs",
+        type=int,
+        default=4,
+        help="epochs per timed train() run in the async-overlap leg",
+    )
+    parser.add_argument(
+        "--async-target",
+        type=float,
+        default=1.3,
+        help="required async-vs-lockstep train() speedup (>=4-core hosts)",
+    )
+    parser.add_argument(
         "--out",
         type=str,
         default="BENCH_trainer.json",
@@ -248,6 +354,7 @@ def main(argv=None) -> int:
         args.episodes = min(args.episodes, 8)
         args.batch_size = min(args.batch_size, 8)
         args.window_seconds = min(args.window_seconds, 0.5)
+        args.async_epochs = min(args.async_epochs, 2)
     return run(args)
 
 

@@ -18,6 +18,14 @@ machine would fail:
    *nonzero*, quarantine exactly that arm in ``report.json``, keep
    every surviving arm bitwise identical to the reference, and publish
    every surviving arm to the run store.
+4. **Async leg** — run the same sweep twice with ``--async-collect``
+   (pipelined actor/learner overlap): once undisturbed as the async
+   reference, once while chaos SIGKILLs a collection worker inside a
+   *prefetched* epoch (``collector.prefetch``), exactly once.  Async
+   results are deliberately one epoch stale, so they are compared
+   against the async reference, not leg 1's lockstep reference; the
+   crashed prefetch must be re-dispatched from its stored pre-update
+   weights so the chaos run stays bitwise identical to it.
 
 Exit code 0 = all assertions hold.  Designed to be fast (a few
 minutes) and deterministic: every fault fires at a named injection
@@ -243,6 +251,50 @@ def main(argv=None) -> int:
     print(
         f"OK: {POISONED_ARM} quarantined; {len(expected_surviving)} "
         "surviving arms bitwise identical and published to the store"
+    )
+
+    print("\n=== async leg: SIGKILL a prefetch worker mid-epoch ===")
+    run_sweep(workdir / "async_ref_out", base_env, extra=["--async-collect"])
+    async_reference = load_table_rows(workdir / "async_ref_out")
+    assert async_reference.keys() == reference.keys(), (
+        "async sweep covers different arms than the lockstep reference"
+    )
+    assert any(
+        async_reference[arm] != reference[arm]
+        for arm in reference
+        if "RLPlanner" in arm[1]
+    ), (
+        "async RL arms match lockstep bitwise — the one-epoch staleness "
+        "schedule is not actually engaged"
+    )
+
+    prefetch_dir = workdir / "chaos_prefetch"
+    async_env = dict(base_env)
+    async_env["RLPLANNER_CHAOS"] = json.dumps(
+        {
+            "point": "collector.prefetch",
+            "mode": "crash",
+            "times": 1,
+            "dir": str(prefetch_dir),
+        }
+    )
+    run_sweep(
+        workdir / "async_crash_out", async_env, extra=["--async-collect"]
+    )
+    assert len(list(prefetch_dir.iterdir())) == 1, (
+        "the prefetch-worker crash never fired"
+    )
+    async_crashed = load_table_rows(workdir / "async_crash_out")
+    assert async_crashed.keys() == async_reference.keys()
+    for arm, expected in async_reference.items():
+        assert async_crashed[arm] == expected, (
+            f"{arm}: with a prefetch-worker crash {async_crashed[arm]} != "
+            f"async reference {expected} — re-dispatch from the stored "
+            "pre-update weights was not bitwise-faithful"
+        )
+    print(
+        f"OK: prefetch crash fired; all {len(async_reference)} arms "
+        "bitwise identical to the undisturbed async reference"
     )
 
     print("\nchaos smoke: PASS")

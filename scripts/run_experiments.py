@@ -37,7 +37,12 @@ from repro.experiments.report import save_results
 from repro.experiments.runner import ExperimentBudget
 from repro.experiments.table1 import TABLE1_SYSTEMS, run_table1
 from repro.experiments.table3 import improvement_summary, run_table3
-from repro.parallel import RetryPolicy, SweepReport, resolve_jobs
+from repro.parallel import (
+    RetryPolicy,
+    SweepReport,
+    resolve_collect_jobs,
+    resolve_jobs,
+)
 from repro.store import DEFAULT_STORE_DIR, RunStore
 
 
@@ -58,11 +63,19 @@ def parse_args(argv=None):
     )
     parser.add_argument(
         "--collect-jobs",
-        type=resolve_jobs,
+        type=resolve_collect_jobs,
         default=1,
         help="worker processes for episode collection within each RL "
-        "arm ('auto' = available CPUs); bitwise identical at any "
-        "count, needs --batch-size >= 2 to take effect",
+        "arm ('auto' = available CPUs, in-process with a warning on "
+        "single-CPU hosts); bitwise identical at any count, needs "
+        "--batch-size >= 2 to take effect",
+    )
+    parser.add_argument(
+        "--async-collect",
+        action="store_true",
+        help="pipeline collection with PPO updates (one-epoch policy "
+        "staleness; reproducible at a fixed seed, not bitwise-equal "
+        "to the lockstep schedule); needs --batch-size >= 2",
     )
     parser.add_argument(
         "--sa-chains",
@@ -175,6 +188,7 @@ def build_budget(args) -> ExperimentBudget:
         sa_iterations_hotspot=args.sa_iters,
         rollout_batch_size=args.batch_size,
         collect_jobs=args.collect_jobs,
+        async_collect=args.async_collect,
         sa_chains=args.sa_chains,
         position_samples=(args.positions, args.positions),
         sa_time_matched=not args.no_time_match,

@@ -25,6 +25,22 @@ episode indices on the exact same ``episode.{index}`` streams, and the
 slices merge back in index order — so ``collect_jobs=N`` training is
 bitwise identical to ``collect_jobs=1`` (regression-pinned), the knob
 trades only wall-clock.
+
+``TrainerConfig.async_collect`` pipelines the two phases (opt-in):
+while the learner runs the PPO update for epoch k, the collector pool
+is already collecting epoch k+1 — with the **pre-update epoch-k
+policy**, dispatched as a prefetch before the update ran.  The
+staleness schedule is fixed, not timing-dependent: epoch 0 collects
+synchronously with the initial weights and every epoch ``e >= 1``
+collects with the weights as of *before* update ``e-1`` ran — an
+off-by-one (IMPALA-style) actor/learner split.  Because the schedule
+is part of the algorithm rather than an artifact of overlap, an async
+run is reproducible at a fixed seed regardless of ``collect_jobs``,
+worker timing, or injected faults, and checkpoints capture the
+in-flight prefetch (its weight bytes + index block) so kill+resume is
+bitwise too.  The default stays lockstep — async runs produce
+*different* (equally valid) trajectories, so the mode is semantic and
+never silently enabled.
 """
 
 from __future__ import annotations
@@ -36,8 +52,12 @@ import numpy as np
 
 from repro.agent.networks import ActorCritic
 from repro.env import BatchedFloorplanEnv, FloorplanEnv
-from repro.nn import Adam, load_payload, save_payload
-from repro.parallel.collector import EpisodeCollector, collect_slice
+from repro.nn import Adam, dumps_payload, load_payload, loads_payload, save_payload
+from repro.parallel.collector import (
+    POLICY_PAYLOAD_KIND,
+    EpisodeCollector,
+    collect_slice,
+)
 from repro.rl import (
     Episode,
     PPOConfig,
@@ -84,6 +104,18 @@ class TrainerConfig:
     # with ``batch_size=1`` the trainer warns and collects in-process
     # (the sequential engine's shared action stream cannot be sharded).
     collect_jobs: int = 1
+    # Pipelined (async) collection: overlap epoch k's PPO update with
+    # the collection of epoch k+1, which is dispatched *before* the
+    # update with the pre-update epoch-k weights (off-by-one
+    # staleness).  The schedule is fixed, so async runs are
+    # reproducible at a fixed seed — but they differ from lockstep runs
+    # (the data for epoch e >= 1 comes from a one-update-older policy),
+    # which is why the mode is opt-in and participates in experiment
+    # store keys.  Requires the batched engine (batch_size >= 2);
+    # wall-clock overlap additionally needs collect_jobs >= 2 (with
+    # in-process collection the same schedule runs, just without the
+    # speedup).
+    async_collect: bool = False
     gamma: float = 0.99
     gae_lambda: float = 0.95
     learning_rate: float = 3e-4
@@ -114,6 +146,17 @@ class TrainerConfig:
             raise ValueError("collect_jobs must be >= 1")
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
+        if self.async_collect and self.batch_size < 2:
+            # Refusing (rather than falling back) keeps the mode
+            # honest: async_collect is semantic — results keyed as
+            # async must actually be async — and the sequential
+            # engine's golden-pinned shared action stream has no
+            # stale-weights variant to offer.
+            raise ValueError(
+                "async_collect requires the batched engine "
+                "(batch_size >= 2); the sequential engine cannot "
+                "collect with stale weights"
+            )
 
 
 @dataclass
@@ -217,6 +260,24 @@ class RLPlannerTrainer:
                 seed=self.config.seed,
                 encoder_channels=self.config.encoder_channels,
             )
+        self.async_collect = bool(self.config.async_collect)
+        if self.async_collect and self._collector is None:
+            _logger.warning(
+                "async_collect without collect_jobs >= 2: the pipelined "
+                "staleness schedule still runs (results match a pooled "
+                "async run bitwise) but collection happens in-process, "
+                "so the update/collection overlap — the speedup — is "
+                "lost"
+            )
+        # Async (pipelined) collection state.  _pending is the epoch
+        # block whose collection was dispatched but not yet consumed:
+        # (start_index, count), with _stale_weights holding the exact
+        # serialized policy it must be collected with.  _stale_network
+        # is the lazily built replica those bytes load into when
+        # collection runs in-process.
+        self._pending: tuple | None = None
+        self._stale_weights: bytes | None = None
+        self._stale_network: ActorCritic | None = None
         self._progress = self._fresh_progress()
 
     @staticmethod
@@ -286,6 +347,91 @@ class RLPlannerTrainer:
             self.config.batch_size,
             greedy=greedy,
         )
+
+    # ------------------------------------------------------------------
+    # pipelined (async) collection
+    # ------------------------------------------------------------------
+
+    def _policy_payload(self) -> bytes:
+        """The current policy, serialized as a broadcast payload."""
+        return dumps_payload(
+            self.network.state_dict(), kind=POLICY_PAYLOAD_KIND
+        )
+
+    def _collect_stale(self, weights: bytes, start: int, count: int) -> list:
+        """Collect a block with an explicit (possibly stale) policy.
+
+        Routes to the pool when one exists; otherwise loads the payload
+        into a local replica — never the live network, which may
+        already hold post-update weights — and collects in-process.
+        Both paths run the same :func:`collect_slice` loop on the same
+        bytes, so they agree bitwise.
+        """
+        if self._collector is not None:
+            return self._collector.collect_with_weights(
+                weights, start, count
+            )
+        if self._stale_network is None:
+            self._stale_network = ActorCritic(
+                self.env.observation_shape,
+                self.env.n_actions,
+                channels=self.config.encoder_channels,
+                rng=np.random.default_rng(0),
+            )
+        self._stale_network.load_state_dict(
+            loads_payload(weights, kind=POLICY_PAYLOAD_KIND)
+        )
+        return collect_slice(
+            self._stale_network,
+            self.batched_env,
+            self._seeds,
+            start,
+            count,
+            self.config.batch_size,
+        )
+
+    def _collect_epoch_async(self, epoch: int) -> tuple:
+        """One epoch's collection under the pipelined schedule.
+
+        Returns ``(epoch_base, collected)``.  Consumes the pending
+        prefetch (dispatched last epoch with the then-current weights,
+        or restored from a checkpoint), then — before the caller runs
+        this epoch's PPO update — dispatches the next epoch's block
+        with the *current* (pre-update) weights.  The first epoch of a
+        fresh run has no older policy and collects synchronously with
+        the initial weights, so the staleness schedule is exactly:
+        epoch 0 uses theta_0, epoch e >= 1 uses theta_{e-1}.
+        """
+        cfg = self.config
+        n = cfg.episodes_per_epoch
+        if self._pending is not None:
+            start, count = self._pending
+            self._pending = None
+            if self._collector is not None and self._collector.prefetching:
+                collected = self._collector.collect_prefetched()
+            else:
+                # No futures in flight (in-process mode, a resumed
+                # checkpoint, or a degraded/failed dispatch): collect
+                # now from the stored stale bytes — same policy, same
+                # episodes, no overlap.
+                collected = self._collect_stale(
+                    self._stale_weights, start, count
+                )
+        else:
+            start, count = self._episode_index, n
+            self._episode_index += n
+            collected = self._collect_stale(self._policy_payload(), start, n)
+        if epoch + 1 < cfg.epochs:
+            weights = self._policy_payload()  # pre-update theta_epoch
+            self._stale_weights = weights
+            next_start = self._episode_index
+            self._episode_index += n
+            self._pending = (next_start, n)
+            if self._collector is not None:
+                self._collector.prefetch(weights, next_start, n)
+        else:
+            self._stale_weights = None
+        return start, collected
 
     def close_collector(self) -> None:
         """Release collection worker processes (no-op when in-process).
@@ -372,8 +518,11 @@ class RLPlannerTrainer:
             # Global index of the epoch's first episode — captured
             # before collection advances the counter, so position k in
             # the merged list IS global episode epoch_base + k.
-            epoch_base = self._episode_index
-            collected = self.collect_episodes(cfg.episodes_per_epoch)
+            if self.async_collect:
+                epoch_base, collected = self._collect_epoch_async(epoch)
+            else:
+                epoch_base = self._episode_index
+                collected = self.collect_episodes(cfg.episodes_per_epoch)
             for position, (episode, info) in enumerate(collected):
                 rewards.append(episode.total_reward)
                 if info.get("deadlock"):
@@ -465,6 +614,13 @@ class RLPlannerTrainer:
         (seed, index)), and the training progress (best layout so far
         with its episode index, history, deadlock count, elapsed
         budget).
+
+        Under ``async_collect`` the in-flight prefetch is captured too
+        (``async_prefetch``: the pending block's index range and the
+        exact stale weight bytes it must be collected with).  The
+        prefetched *episodes* are deliberately not persisted — they are
+        a pure function of those bytes and indices, so a resumed run
+        discards-and-recollects them bitwise.
         """
         # The history list must be snapshotted, not aliased: train()
         # keeps appending to the live list, which would retroactively
@@ -481,6 +637,19 @@ class RLPlannerTrainer:
             # may legally resume under a *different* collect_jobs and
             # stay bitwise.
             "collect_jobs": self.config.collect_jobs,
+            # Semantic, unlike collect_jobs: an async run's data comes
+            # from a one-update-older policy, so resuming under the
+            # other mode cannot reproduce the original run.
+            "async_collect": bool(self.config.async_collect),
+            "async_prefetch": (
+                None
+                if self._pending is None
+                else {
+                    "weights": self._stale_weights,
+                    "start_index": int(self._pending[0]),
+                    "count": int(self._pending[1]),
+                }
+            ),
             "episode_index": self._episode_index,
             "network": self.network.state_dict(),
             "optimizer": self.optimizer.state_dict(),
@@ -523,7 +692,36 @@ class RLPlannerTrainer:
                 state.get("batch_size"),
                 self.config.batch_size,
             )
+        if bool(state.get("async_collect", False)) != bool(
+            self.config.async_collect
+        ):
+            _logger.warning(
+                "checkpoint async_collect=%s but trainer async_collect=%s; "
+                "the two modes collect each epoch with different-aged "
+                "policies, so resuming will not reproduce the original run",
+                bool(state.get("async_collect", False)),
+                self.config.async_collect,
+            )
         self._episode_index = int(state["episode_index"])
+        self._pending = None
+        self._stale_weights = None
+        prefetch = state.get("async_prefetch")
+        if prefetch is not None:
+            if self.config.async_collect:
+                # The interrupted run had already dispatched (and
+                # discarded) this block; re-collect it from the same
+                # stale bytes on resume — bitwise, by purity.
+                self._stale_weights = bytes(prefetch["weights"])
+                self._pending = (
+                    int(prefetch["start_index"]),
+                    int(prefetch["count"]),
+                )
+            else:
+                # Lockstep resume of an async checkpoint: the block was
+                # never consumed, so rewind the counter to keep episode
+                # indices contiguous (the mode-mismatch warning above
+                # already flagged non-reproducibility).
+                self._episode_index -= int(prefetch["count"])
         self.network.load_state_dict(state["network"])
         self.optimizer.load_state_dict(state["optimizer"])
         self._act_rng.bit_generator.state = state["act_rng"]

@@ -33,7 +33,12 @@ from repro.experiments import (
 )
 from repro.experiments.report import format_table, save_results
 from repro.experiments.runner import run_all_methods
-from repro.parallel import RetryPolicy, SweepReport, resolve_jobs
+from repro.parallel import (
+    RetryPolicy,
+    SweepReport,
+    resolve_collect_jobs,
+    resolve_jobs,
+)
 from repro.store import DEFAULT_STORE_DIR, RunStore
 from repro.systems import benchmark_names, get_benchmark
 
@@ -51,6 +56,7 @@ def _budget_from_args(args) -> ExperimentBudget:
         seed=args.seed,
         rollout_batch_size=args.batch_size,
         collect_jobs=args.collect_jobs,
+        async_collect=args.async_collect,
         sa_chains=args.sa_chains,
         sa_incremental=args.sa_incremental,
         hotspot_reuse_factorization=args.hotspot_reuse_lu,
@@ -72,11 +78,22 @@ def _add_budget_args(parser) -> None:
     )
     parser.add_argument(
         "--collect-jobs",
-        type=resolve_jobs,
+        type=resolve_collect_jobs,
         default=1,
         help="worker processes for RL episode collection within one "
-        "training run ('auto' = available CPUs); bitwise identical to "
-        "1 at any count, requires --batch-size >= 2 to take effect",
+        "training run ('auto' = available CPUs, falling back to "
+        "in-process with a warning on single-CPU hosts); bitwise "
+        "identical to 1 at any count, requires --batch-size >= 2 to "
+        "take effect",
+    )
+    parser.add_argument(
+        "--async-collect",
+        action="store_true",
+        help="pipeline episode collection with PPO updates: epoch k+1 "
+        "is collected with the pre-update epoch-k policy while the "
+        "learner runs update k (one-epoch staleness; reproducible at "
+        "a fixed seed, but not bitwise-equal to the default lockstep "
+        "schedule); requires --batch-size >= 2",
     )
     parser.add_argument(
         "--sa-chains",

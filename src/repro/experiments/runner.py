@@ -133,6 +133,14 @@ class ExperimentBudget:
     # sequential engine the trainer warns and collects in-process), so
     # like the checkpoint cadences it never enters a store key.
     collect_jobs: int = 1
+    # Pipeline episode collection with PPO updates: epoch k+1 is
+    # collected with the pre-update epoch-k policy while the learner
+    # runs update k (TrainerConfig.async_collect).  One epoch of policy
+    # staleness changes the training trajectory, so unlike
+    # ``collect_jobs`` this IS semantic and stays in store keys —
+    # async and lockstep results must never alias.  Requires
+    # rollout_batch_size >= 2.
+    async_collect: bool = False
 
     @classmethod
     def paper_scale(cls) -> "ExperimentBudget":
@@ -314,6 +322,7 @@ def _run_rl(
             episodes_per_epoch=budget.episodes_per_epoch,
             batch_size=budget.rollout_batch_size,
             collect_jobs=budget.collect_jobs,
+            async_collect=budget.async_collect,
             seed=budget.seed,
             use_rnd=use_rnd,
             rnd=RNDConfig(bonus_scale=0.5),

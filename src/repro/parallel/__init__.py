@@ -40,6 +40,7 @@ from repro.parallel.scheduler import (
     JobFailedError,
     JobSpec,
     RemoteTraceback,
+    resolve_collect_jobs,
     resolve_jobs,
     run_jobs,
 )
@@ -59,6 +60,7 @@ __all__ = [
     "atomic_replace",
     "collect_slice",
     "partition_episodes",
+    "resolve_collect_jobs",
     "resolve_jobs",
     "run_jobs",
 ]

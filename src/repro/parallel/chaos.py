@@ -4,10 +4,12 @@ Every failure path the scheduler/collector/store claim to survive must
 be *demonstrable in CI*, not just arguable in review.  This module
 plants named **injection points** on the hot paths::
 
-    scheduler.job     — in the supervised worker, before the job runs
-    collector.init    — in the collection pool's worker initializer
-    collector.slice   — in the collection worker, before a slice runs
-    store.write       — in RunStore, before an artifact is written
+    scheduler.job      — in the supervised worker, before the job runs
+    collector.init     — in the collection pool's worker initializer
+    collector.slice    — in the collection worker, before a slice runs
+    collector.prefetch — same worker-side site, for slices dispatched
+                         ahead of time by the async (pipelined) trainer
+    store.write        — in RunStore, before an artifact is written
 
 and fires configured faults at them:
 
@@ -68,6 +70,7 @@ KNOWN_POINTS = (
     "scheduler.job",
     "collector.init",
     "collector.slice",
+    "collector.prefetch",
     "store.write",
 )
 

@@ -50,6 +50,22 @@ broken machine.  A worker-initializer failure is captured in the
 worker and re-raised promptly as a
 :class:`~repro.parallel.faults.WorkerInitError` carrying the real
 traceback, never surfacing as an opaque ``BrokenProcessPool``.
+Degradation is not a life sentence: after ``reprobe_after`` in-process
+epochs the collector re-probes the pool (one probation round — a
+single failed round re-degrades), so a run that outlives a transient
+machine-wide stall gets its workers back.
+
+**Pipelined (async) collection.**  :meth:`EpisodeCollector.prefetch`
+dispatches a slice set *without blocking* and
+:meth:`EpisodeCollector.collect_prefetched` harvests it later — the
+futures-based handoff behind the trainer's ``async_collect`` mode,
+where collection of epoch k+1 (with the *pre-update* epoch-k weights)
+overlaps the PPO update of epoch k.  The broadcast payload is
+double-buffered by construction: the prefetch holds its own serialized
+weight bytes, so the learner is free to mutate the live network while
+workers collect.  All fault tolerance carries over — a lost prefetch
+worker is re-dispatched at harvest time *from the stored bytes*, so
+faults can never change which policy collected an epoch.
 """
 
 from __future__ import annotations
@@ -254,9 +270,19 @@ def _init_worker(
 
 
 def _collect_remote(
-    weights: bytes, start_index: int, count: int, greedy: bool
+    weights: bytes,
+    start_index: int,
+    count: int,
+    greedy: bool,
+    chaos_point: str = "collector.slice",
 ) -> list:
-    """Worker task: load the broadcast weights, collect one slice."""
+    """Worker task: load the broadcast weights, collect one slice.
+
+    ``chaos_point`` names the injection site this dispatch fires
+    (``collector.slice`` for lockstep epochs, ``collector.prefetch``
+    for slices dispatched ahead of time by the async trainer) so chaos
+    runs can target one mode without disturbing the other.
+    """
     state = _WORKER_STATE
     if state is None:  # pragma: no cover - initializer contract
         raise RuntimeError("collector worker was never initialized")
@@ -264,7 +290,7 @@ def _collect_remote(
         raise WorkerInitError(
             "collection worker failed to initialize:\n" + state["init_error"]
         )
-    chaos.maybe_fail("collector.slice", f"slice@{start_index}")
+    chaos.maybe_fail(chaos_point, f"slice@{start_index}")
     state["network"].load_state_dict(
         loads_payload(weights, kind=POLICY_PAYLOAD_KIND)
     )
@@ -320,7 +346,15 @@ class EpisodeCollector:
         that completes at least one slice resets the count), the
         collector stops fighting the machine and degrades to
         in-process collection — same :func:`collect_slice` loop, so
-        still bitwise — for the rest of its life.
+        still bitwise.
+    reprobe_after:
+        Degradation is bounded, not sticky: after this many in-process
+        collection rounds the collector re-probes the pool with one
+        probation round (a single failed round re-degrades immediately,
+        a successful one fully rehabilitates the pool).  ``0`` restores
+        the old degrade-forever behavior.  Re-probing never changes
+        results — only which process runs the same pure slice
+        functions.
 
     Workers spawn lazily on the first :meth:`collect` and persist
     across epochs; :meth:`close` (or the context manager) releases
@@ -342,6 +376,7 @@ class EpisodeCollector:
         slice_timeout: float | None = None,
         policy: RetryPolicy | None = None,
         max_pool_failures: int = 3,
+        reprobe_after: int = 2,
     ):
         if jobs < 2:
             raise ValueError("EpisodeCollector needs jobs >= 2")
@@ -353,11 +388,14 @@ class EpisodeCollector:
             )
         if max_pool_failures < 1:
             raise ValueError("max_pool_failures must be >= 1")
+        if reprobe_after < 0:
+            raise ValueError("reprobe_after must be >= 0 (0 = never)")
         self.jobs = jobs
         self.batch_size = batch_size
         self.slice_timeout = slice_timeout
         self.policy = policy if policy is not None else RetryPolicy()
         self.max_pool_failures = max_pool_failures
+        self.reprobe_after = reprobe_after
         self._env_args = (system, reward_calculator, env_config)
         self._seed = seed
         self._initargs = (
@@ -371,8 +409,13 @@ class EpisodeCollector:
         self._pool: ProcessPoolExecutor | None = None
         self._consecutive_failures = 0
         self._degraded = False
+        self._inprocess_rounds = 0
         self._fallback_env = None
+        self._fallback_network = None
         self._fallback_seeds: SeedSequence | None = None
+        # Outstanding prefetch (async mode): {"weights", "slices",
+        # "futures", "greedy"} or None.  At most one at a time.
+        self._prefetch: dict | None = None
 
     @property
     def active(self) -> bool:
@@ -413,23 +456,38 @@ class EpisodeCollector:
         self._pool = None
 
     def _collect_in_process(
-        self, network, slices: list, greedy: bool
+        self, weights: bytes, slices: list, greedy: bool
     ) -> dict:
         """Run ``slices`` through the same lockstep loop, in the parent.
 
         The degradation path: builds a lazily cached
-        ``BatchedFloorplanEnv`` replica and reuses the trainer's own
-        ``network`` directly (the broadcast payload holds the same
-        weights bit-for-bit, so pool and in-process collection agree).
+        ``BatchedFloorplanEnv`` + network replica and loads the
+        *broadcast payload* into it — never the trainer's live network,
+        which under async collection may already hold post-update
+        weights.  The payload round-trips bit-for-bit, so pool and
+        in-process collection agree regardless.
         """
         if self._fallback_env is None:
-            from repro.env import BatchedFloorplanEnv
+            # Imported lazily for the same repro.agent import-cycle
+            # reason as the worker initializer.
+            from repro.agent.networks import ActorCritic
+            from repro.env import BatchedFloorplanEnv, FloorplanEnv
 
+            env = FloorplanEnv(*self._env_args)
+            self._fallback_network = ActorCritic(
+                env.observation_shape,
+                env.n_actions,
+                channels=self._initargs[3],
+                rng=np.random.default_rng(0),
+            )
             self._fallback_env = BatchedFloorplanEnv(*self._env_args)
             self._fallback_seeds = SeedSequence(self._seed)
+        self._fallback_network.load_state_dict(
+            loads_payload(weights, kind=POLICY_PAYLOAD_KIND)
+        )
         return {
             index: collect_slice(
-                network,
+                self._fallback_network,
                 self._fallback_env,
                 self._fallback_seeds,
                 start,
@@ -443,14 +501,42 @@ class EpisodeCollector:
     def _degrade(self, reason: str) -> None:
         _logger.error(
             "collection pool failed %d consecutive round(s) (%s); "
-            "degrading to in-process collection for the rest of this "
-            "run — results stay bitwise identical, only wall clock "
-            "suffers",
+            "degrading to in-process collection — results stay bitwise "
+            "identical, only wall clock suffers%s",
             self._consecutive_failures,
             reason,
+            (
+                f"; the pool will be re-probed after "
+                f"{self.reprobe_after} in-process round(s)"
+                if self.reprobe_after
+                else ""
+            ),
         )
         self._teardown_pool()
         self._degraded = True
+        self._inprocess_rounds = 0
+
+    def _maybe_reprobe(self) -> None:
+        """Bounded re-probe: lift degradation after ``reprobe_after`` rounds.
+
+        The rehabilitated pool gets exactly one probation round —
+        ``_consecutive_failures`` restarts at ``max_pool_failures - 1``,
+        so a single failed round re-degrades (and restarts the re-probe
+        clock), while a successful round resets the count to zero as
+        usual.
+        """
+        if not self._degraded or not self.reprobe_after:
+            return
+        if self._inprocess_rounds < self.reprobe_after:
+            return
+        _logger.warning(
+            "re-probing the collection pool after %d in-process "
+            "round(s) — one probation round, results unaffected",
+            self._inprocess_rounds,
+        )
+        self._degraded = False
+        self._inprocess_rounds = 0
+        self._consecutive_failures = self.max_pool_failures - 1
 
     def collect(
         self, network, start_index: int, count: int, greedy: bool = False
@@ -461,6 +547,24 @@ class EpisodeCollector:
         slices over the workers, and returns ``[(Episode, info), ...]``
         merged in strict index order — bitwise identical to one
         in-process :func:`collect_slice` over the same range.
+        """
+        weights = dumps_payload(network.state_dict(), kind=POLICY_PAYLOAD_KIND)
+        return self.collect_with_weights(
+            weights, start_index, count, greedy=greedy
+        )
+
+    def collect_with_weights(
+        self,
+        weights: bytes,
+        start_index: int,
+        count: int,
+        greedy: bool = False,
+    ) -> list:
+        """Like :meth:`collect`, but from already-serialized weights.
+
+        The async trainer's entry point: the payload bytes pin *which*
+        policy collects, independent of what the live network holds by
+        the time collection actually runs.
 
         Survives worker loss: dead workers (``BrokenProcessPool``) and
         stalled epochs (``slice_timeout``) trigger a pool rebuild and
@@ -469,7 +573,8 @@ class EpisodeCollector:
         immediately; so does :class:`WorkerInitError` (rebuilt workers
         would fail construction identically).  After
         ``max_pool_failures`` consecutive failed rounds the remaining
-        slices run in-process and the collector stays degraded.
+        slices run in-process and the collector degrades (until the
+        bounded re-probe lifts it).
         """
         slices = list(
             enumerate(
@@ -478,11 +583,145 @@ class EpisodeCollector:
                 )
             )
         )
-        results: dict = {}
+        return self._run_rounds(
+            weights, slices, {}, None, greedy, "collector.slice"
+        )
+
+    # ------------------------------------------------------------------
+    # pipelined (async) handoff
+    # ------------------------------------------------------------------
+
+    @property
+    def prefetching(self) -> bool:
+        """Whether a prefetched slice set is outstanding."""
+        return self._prefetch is not None
+
+    def prefetch(
+        self,
+        weights: bytes,
+        start_index: int,
+        count: int,
+        greedy: bool = False,
+    ) -> None:
+        """Dispatch a slice set to the pool without waiting for it.
+
+        The double-buffered half of async collection: ``weights`` is a
+        self-contained serialized payload, so the caller may mutate its
+        live network (run the PPO update) while workers collect.
+        Harvest with :meth:`collect_prefetched`.
+
+        Degraded (or submission-failed) prefetches dispatch nothing —
+        the caller's harvest falls back to :meth:`collect_with_weights`
+        with the same stored bytes, so overlap is lost but results are
+        not.  At most one prefetch may be outstanding.
+        """
+        if self._prefetch is not None:
+            raise RuntimeError(
+                "a prefetch is already outstanding; harvest it with "
+                "collect_prefetched() or drop it with cancel_prefetch()"
+            )
+        self._maybe_reprobe()
         if self._degraded:
-            results = self._collect_in_process(network, slices, greedy)
+            return
+        slices = list(
+            enumerate(
+                partition_episodes(
+                    start_index, count, self.batch_size, self.jobs
+                )
+            )
+        )
+        try:
+            futures = self._submit_round(
+                weights, slices, greedy, "collector.prefetch"
+            )
+        except Exception as error:  # noqa: BLE001 - resilience path
+            # A dead pool at submit time counts as one failed round;
+            # the harvest-side retry loop (or eventual degradation)
+            # takes it from here.  A non-transient error (a real bug)
+            # would reproduce at harvest time too — surface it now.
+            if not self.policy.is_transient(error):
+                raise
+            _logger.warning(
+                "prefetch dispatch failed (%r); collection will run "
+                "synchronously at harvest time",
+                error,
+            )
+            self._teardown_pool()
+            self._consecutive_failures += 1
+            return
+        self._prefetch = {
+            "weights": weights,
+            "slices": slices,
+            "futures": futures,
+            "greedy": greedy,
+        }
+
+    def collect_prefetched(self) -> list:
+        """Harvest the outstanding prefetch (blocking), merged in order.
+
+        Fault tolerance matches :meth:`collect_with_weights`: slices
+        lost with a dead worker are re-dispatched from the prefetch's
+        *stored* weight bytes, so a fault can never change which policy
+        collected the epoch.
+        """
+        state = self._prefetch
+        self._prefetch = None
+        if state is None:
+            raise RuntimeError("no prefetch is outstanding")
+        return self._run_rounds(
+            state["weights"],
+            state["slices"],
+            {},
+            state["futures"],
+            state["greedy"],
+            "collector.prefetch",
+        )
+
+    def cancel_prefetch(self) -> None:
+        """Drop the outstanding prefetch, if any (idempotent).
+
+        Queued slices are cancelled; already-running ones finish in
+        their workers and are discarded.  Nothing is consumed, so
+        determinism is unaffected.
+        """
+        state = self._prefetch
+        self._prefetch = None
+        if state is None:
+            return
+        for future in state["futures"]:
+            future.cancel()
+
+    # ------------------------------------------------------------------
+
+    def _run_rounds(
+        self,
+        weights: bytes,
+        slices: list,
+        results: dict,
+        futures: dict | None,
+        greedy: bool,
+        chaos_point: str,
+    ) -> list:
+        """Drive ``slices`` to completion; the one retry/degrade loop.
+
+        ``futures`` carries an already-dispatched round (the prefetch
+        handoff) to harvest before any new dispatch.  Missing slices
+        are re-dispatched on fresh pools with backoff until they
+        complete, a deterministic error propagates, or
+        ``max_pool_failures`` consecutive failures degrade the rest to
+        in-process collection.
+        """
+        self._maybe_reprobe()
+        if self._degraded:
+            self._inprocess_rounds += 1
+            results.update(
+                self._collect_in_process(
+                    weights,
+                    [item for item in slices if item[0] not in results],
+                    greedy,
+                )
+            )
             return self._merge(results, slices)
-        weights = dumps_payload(network.state_dict(), kind=POLICY_PAYLOAD_KIND)
         try:
             while True:
                 missing = [item for item in slices if item[0] not in results]
@@ -490,13 +729,28 @@ class EpisodeCollector:
                     break
                 if self._consecutive_failures >= self.max_pool_failures:
                     self._degrade("giving up on the pool")
+                    self._inprocess_rounds += 1
                     results.update(
-                        self._collect_in_process(network, missing, greedy)
+                        self._collect_in_process(weights, missing, greedy)
                     )
                     break
-                round_failure = self._dispatch_round(
-                    weights, missing, results, greedy
-                )
+                round_failure = None
+                if futures is None:
+                    try:
+                        futures = self._submit_round(
+                            weights, missing, greedy, chaos_point
+                        )
+                    except Exception as error:
+                        # A worker dying between two submits of the same
+                        # round breaks the pool mid-dispatch and makes
+                        # the *next* submit raise synchronously; that is
+                        # a lost round like any other, not a crash.
+                        if not self.policy.is_transient(error):
+                            raise
+                        round_failure = f"dispatch failed: {error!r}"
+                if round_failure is None:
+                    round_failure = self._gather_round(futures, results)
+                futures = None
                 if round_failure is None:
                     self._consecutive_failures = 0
                 else:
@@ -528,21 +782,26 @@ class EpisodeCollector:
             raise
         return self._merge(results, slices)
 
-    def _dispatch_round(
-        self, weights: bytes, missing: list, results: dict, greedy: bool
-    ) -> str | None:
-        """One pool dispatch of ``missing``; fills ``results`` in place.
+    def _submit_round(
+        self, weights: bytes, missing: list, greedy: bool, chaos_point: str
+    ) -> dict:
+        """Dispatch ``missing`` to the pool; returns {future: index}."""
+        pool = self._ensure_pool()
+        return {
+            pool.submit(
+                _collect_remote, weights, start, size, greedy, chaos_point
+            ): index
+            for index, (start, size) in missing
+        }
+
+    def _gather_round(self, futures: dict, results: dict) -> str | None:
+        """Await one dispatched round; fills ``results`` in place.
 
         Returns ``None`` on full success, else a short description of
         the failure (the round should be retried on a fresh pool).
         Deterministic slice exceptions and init failures are raised,
         not returned — they would reproduce on any pool.
         """
-        pool = self._ensure_pool()
-        futures = {
-            pool.submit(_collect_remote, weights, start, size, greedy): index
-            for index, (start, size) in missing
-        }
         pending = set(futures)
         while pending:
             finished, pending = futures_wait(
@@ -582,6 +841,7 @@ class EpisodeCollector:
 
     def close(self, wait: bool = True) -> None:
         """Release the worker processes (idempotent)."""
+        self.cancel_prefetch()
         if self._pool is not None:
             self._pool.shutdown(wait=wait, cancel_futures=not wait)
             self._pool = None

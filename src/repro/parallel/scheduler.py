@@ -76,6 +76,7 @@ __all__ = [
     "JobFailedError",
     "JobSpec",
     "RemoteTraceback",
+    "resolve_collect_jobs",
     "resolve_jobs",
     "run_jobs",
 ]
@@ -220,6 +221,31 @@ def resolve_jobs(value) -> int:
     if jobs < 1:
         raise ValueError("jobs must be >= 1 (or 'auto')")
     return jobs
+
+
+def resolve_collect_jobs(value) -> int:
+    """Parse a ``--collect-jobs`` value: like :func:`resolve_jobs`, but
+    ``"auto"`` on a single-CPU host resolves to **in-process**
+    collection (1) with a warning instead of silently standing up a
+    one-worker pool — on one core a pool buys no parallelism and pays
+    per-epoch weight broadcast and IPC for every slice (the collection
+    bench measures it well below 1x).  Results are unaffected either
+    way: ``collect_jobs`` is bitwise-non-semantic by construction.
+
+    An *explicit* worker count is honored verbatim, single core or not
+    (the bench deliberately measures pool overhead on small hosts).
+    """
+    if not isinstance(value, int) and str(value).strip().lower() == "auto":
+        jobs = _probe_cpu_count()
+        if jobs == 1:
+            _logger.warning(
+                "--collect-jobs auto: only 1 CPU is available to this "
+                "process, so a worker pool would be pure IPC overhead; "
+                "collecting episodes in-process (results are identical "
+                "at any collect_jobs)"
+            )
+        return jobs
+    return resolve_jobs(value)
 
 
 def run_jobs(

@@ -18,11 +18,17 @@ Covers the PR-7 chaos guarantees:
   with the real traceback.
 """
 
+import functools
 import json
+import logging
+import time
+import uuid
 
 import pytest
 
 from repro.env import EnvConfig, FloorplanEnv
+from repro.experiments.report import MethodResult
+from repro.experiments.runner import _inject_rl_runtime
 from repro.parallel import JobSpec, RetryPolicy, SweepReport, run_jobs
 from repro.parallel import chaos as chaos_module
 from repro.parallel.chaos import (
@@ -67,6 +73,34 @@ def _fast_policy(**overrides) -> RetryPolicy:
 # top-level (picklable) job functions
 def _square(x):
     return x * x
+
+
+def _stub_rl_arm(marker_dir, sleep_s=0.25):
+    """Stand-in RL arm: self-measures its runtime like the real one.
+
+    Leaves one marker file per *invocation* and fires a mid-body chaos
+    point, so a test can crash attempt 1 partway through and verify the
+    runtime fed downstream covers only the successful attempt.
+    """
+    from pathlib import Path
+
+    start = time.perf_counter()
+    Path(marker_dir, f"attempt-{uuid.uuid4().hex}").write_text("")
+    time.sleep(sleep_s)
+    chaos_module.maybe_fail("scheduler.job", "stub-rl-body")
+    return MethodResult(
+        system="stub",
+        method="RLPlanner",
+        reward=0.0,
+        wirelength=0.0,
+        temperature_c=0.0,
+        runtime_s=time.perf_counter() - start,
+    )
+
+
+def _stub_sa_arm(time_limit=None, time_matched=None):
+    """Stand-in fast-SA arm: reports the budget it was handed."""
+    return {"time_limit": time_limit, "time_matched": time_matched}
 
 
 # ----------------------------------------------------------------------
@@ -273,6 +307,57 @@ class TestSchedulerChaos:
             "RemoteTraceback",
         )
 
+    def test_retried_rl_arm_feeds_final_attempt_runtime_downstream(
+        self, tmp_path, monkeypatch
+    ):
+        """A crash-then-retry RL arm must hand the time-matched SA arm
+        the *successful attempt's* self-measured wall clock — never the
+        sum across attempts (satellite: retry/time-matching attribution).
+        """
+        markers = tmp_path / "markers"
+        markers.mkdir()
+        sleep_s = 0.25
+        rl_id = "bench/RLPlanner"
+        specs = [
+            JobSpec(
+                rl_id,
+                _stub_rl_arm,
+                dict(marker_dir=str(markers), sleep_s=sleep_s),
+            ),
+            JobSpec(
+                "bench/TAP-2.5D*(FastThermal)",
+                _stub_sa_arm,
+                dict(time_matched=True),
+                needs=(rl_id,),
+                inject=functools.partial(_inject_rl_runtime, rl_id),
+            ),
+        ]
+        # SIGKILL the RL arm partway through its first attempt; the
+        # second attempt runs to completion.
+        _chaos_env(
+            monkeypatch,
+            dict(
+                point="scheduler.job",
+                mode="crash",
+                match="stub-rl-body",
+                times=1,
+                dir=str(tmp_path / "chaos"),
+            ),
+        )
+        report = SweepReport()
+        outcome = run_jobs(
+            specs, jobs=2, policy=_fast_policy(), report=report
+        )
+        assert report.outcomes[rl_id].status == "retried"
+        assert report.outcomes[rl_id].attempts == 2
+        # Attempt 1 really ran (and burned wall clock) before dying.
+        assert len(list(markers.iterdir())) == 2
+        injected = outcome["bench/TAP-2.5D*(FastThermal)"]["time_limit"]
+        # Exactly the dependency's self-measured runtime, verbatim...
+        assert injected == outcome[rl_id].runtime_s
+        # ...and attempt-2-sized, not the ~2x sum across both attempts.
+        assert sleep_s <= injected < 1.6 * sleep_s
+
 
 # ----------------------------------------------------------------------
 # collector under chaos (bitwise guarantees)
@@ -346,6 +431,131 @@ class TestCollectorChaos:
         disturbed = _distill(trainer.train())
         assert disturbed == reference
         assert trainer._collector.degraded
+
+    def test_pool_killed_in_epoch_2_is_rebuilt_by_epoch_4(
+        self, trainer_env, tmp_path, monkeypatch, caplog
+    ):
+        """Degradation is no longer sticky: after ``reprobe_after``
+        in-process epochs the collector re-probes the pool, so a kill in
+        epoch 2 is healed by epoch 4 (satellite: bounded re-probe)."""
+        reference = _distill(_make_trainer(trainer_env, epochs=4).train())
+        # Epochs cover episodes [0,5), [5,10), [10,15), [15,20): killing
+        # slice@5 hits epoch 2, and max_pool_failures=1 degrades at once.
+        _chaos_env(
+            monkeypatch,
+            dict(
+                point="collector.slice",
+                mode="crash",
+                match="slice@5",
+                times=1,
+                dir=str(tmp_path / "chaos"),
+            ),
+        )
+        trainer = _make_trainer(trainer_env, epochs=4, collect_jobs=2)
+        trainer._collector.policy = _fast_policy()
+        trainer._collector.max_pool_failures = 1
+        assert trainer._collector.reprobe_after == 2
+        logger = logging.getLogger("repro")
+        logger.addHandler(caplog.handler)
+        try:
+            disturbed = _distill(trainer.train())
+        finally:
+            logger.removeHandler(caplog.handler)
+        assert disturbed == reference
+        # Epoch 3 ran in-process; epoch 4's re-probe rebuilt the pool
+        # (train() releases the workers on completion, so the evidence
+        # is the re-probe itself plus a second pool start).
+        assert not trainer._collector.degraded
+        messages = [rec.getMessage() for rec in caplog.records]
+        assert any("re-probing the collection pool" in m for m in messages)
+        assert (
+            sum("starting 2 collection workers" in m for m in messages) == 2
+        )
+        assert len(list((tmp_path / "chaos").iterdir())) == 1
+
+    def test_reprobe_zero_keeps_legacy_sticky_degradation(
+        self, trainer_env, tmp_path, monkeypatch
+    ):
+        reference = _distill(_make_trainer(trainer_env, epochs=4).train())
+        _chaos_env(
+            monkeypatch,
+            dict(
+                point="collector.slice",
+                mode="crash",
+                match="slice@5",
+                times=1,
+                dir=str(tmp_path / "chaos"),
+            ),
+        )
+        trainer = _make_trainer(trainer_env, epochs=4, collect_jobs=2)
+        trainer._collector.policy = _fast_policy()
+        trainer._collector.max_pool_failures = 1
+        trainer._collector.reprobe_after = 0
+        disturbed = _distill(trainer.train())
+        assert disturbed == reference
+        assert trainer._collector.degraded  # never re-probed
+
+    def test_crashed_prefetch_worker_recovers_bitwise(
+        self, trainer_env, tmp_path, monkeypatch
+    ):
+        """SIGKILL a worker running an async-prefetched slice: the epoch
+        is re-collected with the *stored* stale weights, so the run
+        completes bitwise-equal to an undisturbed async run and the pool
+        is not degraded (tentpole: async chaos coverage)."""
+        reference_trainer = _make_trainer(
+            trainer_env, epochs=3, collect_jobs=2, async_collect=True
+        )
+        reference = _distill(reference_trainer.train())
+        reference_trainer.close_collector()
+
+        _chaos_env(
+            monkeypatch,
+            dict(
+                point="collector.prefetch",
+                mode="crash",
+                times=1,
+                dir=str(tmp_path / "chaos"),
+            ),
+        )
+        trainer = _make_trainer(
+            trainer_env, epochs=3, collect_jobs=2, async_collect=True
+        )
+        trainer._collector.policy = _fast_policy()
+        disturbed = _distill(trainer.train())
+        trainer_degraded = trainer._collector.degraded
+        trainer.close_collector()
+        assert disturbed == reference
+        assert not trainer_degraded
+        assert len(list((tmp_path / "chaos").iterdir())) == 1
+
+    def test_persistent_pool_loss_in_async_mode_degrades_bitwise(
+        self, trainer_env, monkeypatch
+    ):
+        """Async + a pool that can never finish a round: collection
+        degrades in-process but keeps the pipelined staleness schedule,
+        so the result still matches an undisturbed async run bitwise."""
+        reference_trainer = _make_trainer(
+            trainer_env, epochs=3, collect_jobs=2, async_collect=True
+        )
+        reference = _distill(reference_trainer.train())
+        reference_trainer.close_collector()
+
+        _chaos_env(
+            monkeypatch,
+            dict(point="collector.prefetch", mode="crash", times=0),
+            dict(point="collector.slice", mode="crash", times=0),
+        )
+        trainer = _make_trainer(
+            trainer_env, epochs=3, collect_jobs=2, async_collect=True
+        )
+        trainer._collector.policy = _fast_policy()
+        trainer._collector.max_pool_failures = 1
+        trainer._collector.reprobe_after = 0
+        disturbed = _distill(trainer.train())
+        trainer_degraded = trainer._collector.degraded
+        trainer.close_collector()
+        assert disturbed == reference
+        assert trainer_degraded
 
     def test_init_failure_surfaces_as_worker_init_error(
         self, trainer_env, monkeypatch

@@ -44,7 +44,7 @@ class _Interrupted(Exception):
     """Raised by checkpoint hooks to emulate a mid-run kill."""
 
 
-def _exploding_remote(weights, start_index, count, greedy):
+def _exploding_remote(weights, start_index, count, greedy, chaos_point="collector.slice"):
     """Stand-in worker task (module-level: must pickle by reference)."""
     raise RuntimeError("worker exploded")
 
@@ -378,6 +378,42 @@ class TestCollectorLifecycle:
                 batch_size=1,
                 seed=0,
             )
+        with pytest.raises(ValueError, match="reprobe_after"):
+            EpisodeCollector(
+                env.system,
+                env.reward_calculator,
+                env.config,
+                jobs=2,
+                batch_size=4,
+                seed=0,
+                reprobe_after=-1,
+            )
+
+    def test_prefetch_handoff_contract(self, trainer_env):
+        env = trainer_env
+        collector = EpisodeCollector(
+            env.system,
+            env.reward_calculator,
+            env.config,
+            jobs=2,
+            batch_size=2,
+            seed=3,
+        )
+        with collector:
+            with pytest.raises(RuntimeError, match="no prefetch"):
+                collector.collect_prefetched()
+            collector.cancel_prefetch()  # idempotent with none outstanding
+            weights = dumps_payload(
+                {"w": np.zeros(1)}, kind="collector-policy"
+            )
+            # A double prefetch is a trainer bug, not a race to tolerate.
+            collector._prefetch = {"futures": []}
+            try:
+                with pytest.raises(RuntimeError, match="outstanding"):
+                    collector.prefetch(weights, 0, 4)
+            finally:
+                collector.cancel_prefetch()
+            assert not collector.prefetching
 
     def test_worker_failure_closes_pool_and_propagates(
         self, trainer_env, monkeypatch

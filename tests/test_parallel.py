@@ -43,6 +43,7 @@ from repro.parallel import (
     JobFailedError,
     JobSpec,
     atomic_replace,
+    resolve_collect_jobs,
     resolve_jobs,
     run_jobs,
 )
@@ -289,6 +290,41 @@ class TestResolveJobsProbes:
         )
         monkeypatch.setattr(scheduler_module.os, "cpu_count", lambda: 0)
         assert resolve_jobs("auto") == 1
+
+
+class TestResolveCollectJobs:
+    """``--collect-jobs auto``: 1-CPU hosts collect in-process, loudly."""
+
+    def test_auto_on_single_cpu_warns_and_returns_one(
+        self, monkeypatch, caplog
+    ):
+        monkeypatch.setattr(scheduler_module, "_probe_cpu_count", lambda: 1)
+        with _capture_repro_logs(caplog):
+            assert resolve_collect_jobs("auto") == 1
+        assert any(
+            rec.levelno >= logging.WARNING
+            and "in-process" in rec.getMessage()
+            for rec in caplog.records
+        )
+
+    def test_auto_on_multicore_is_silent(self, monkeypatch, caplog):
+        monkeypatch.setattr(scheduler_module, "_probe_cpu_count", lambda: 4)
+        with _capture_repro_logs(caplog):
+            assert resolve_collect_jobs("auto") == 4
+        assert not [
+            rec for rec in caplog.records if rec.levelno >= logging.WARNING
+        ]
+
+    def test_explicit_values_delegate_to_resolve_jobs(self, monkeypatch):
+        # An explicit count is honored verbatim even on one core (the
+        # collection bench deliberately measures pool overhead there).
+        monkeypatch.setattr(scheduler_module, "_probe_cpu_count", lambda: 1)
+        assert resolve_collect_jobs(3) == 3
+        assert resolve_collect_jobs("2") == 2
+        with pytest.raises(ValueError):
+            resolve_collect_jobs("0")
+        with pytest.raises(ValueError):
+            resolve_collect_jobs("many")
 
 
 class TestLockedCache:

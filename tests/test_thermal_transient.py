@@ -135,3 +135,58 @@ class TestMetrics:
             transient.simulate(
                 placement, duration=1.0, initial_field=np.zeros((2, 2))
             )
+
+
+class TestBundledSystemSmoke:
+    """Bitwise pin of ``simulate()``/``time_to_fraction()`` on a bundled
+    benchmark (satellite: transient smoke coverage beyond the synthetic
+    single-die fixture).  The physics tests above argue correctness;
+    this pins the exact numbers so solver refactors cannot silently
+    change transient results on a real system geometry.
+    """
+
+    @pytest.fixture(scope="class")
+    def multi_gpu_result(self):
+        from repro.systems import get_benchmark
+
+        system = get_benchmark("multi_gpu").system
+        config = ThermalConfig(rows=20, cols=20, package_margin=8.0)
+        solver = GridThermalSolver(
+            system.interposer, config, reuse_factorization=True
+        )
+        placement = Placement(system)
+        # A fixed, non-overlapping 4x3 arrangement on the 55x55 mm
+        # interposer — deterministic input, nothing searched.
+        cols = [2.0, 16.0, 30.0, 41.0]
+        rows = [2.0, 21.0, 41.0]
+        for i, chiplet in enumerate(system.chiplets):
+            placement.place(chiplet.name, cols[i % 4], rows[i // 4])
+        transient = TransientThermalSolver(solver, dt=1.0)
+        return transient.simulate(placement, duration=40.0)
+
+    def test_trace_shape(self, multi_gpu_result):
+        assert len(multi_gpu_result.times) == 41
+        assert len(multi_gpu_result.max_temperature) == 41
+        assert set(multi_gpu_result.chiplet_temperatures) == {
+            f"{kind}{i}{j}" if kind == "hbm" else f"{kind}{i}"
+            for kind in ("gpu", "hbm")
+            for i in range(4)
+            for j in (range(2) if kind == "hbm" else [None])
+        }
+
+    def test_simulate_is_bitwise_pinned(self, multi_gpu_result):
+        result = multi_gpu_result
+        assert float(result.max_temperature[0]).hex() == "0x1.3e26666666666p+8"
+        assert (
+            float(result.final_max_temperature).hex() == "0x1.bfc5e369be9aap+8"
+        )
+        assert (
+            float(result.chiplet_temperatures["gpu0"][-1]).hex()
+            == "0x1.bc7293d998e12p+8"
+        )
+
+    def test_time_to_fraction_is_bitwise_pinned(self, multi_gpu_result):
+        assert (
+            float(multi_gpu_result.time_to_fraction(0.9)).hex()
+            == "0x1.f000000000000p+4"
+        )
