@@ -26,6 +26,14 @@ machine would fail:
    against the async reference, not leg 1's lockstep reference; the
    crashed prefetch must be re-dispatched from its stored pre-update
    weights so the chaos run stays bitwise identical to it.
+5. **Remote leg** — run the sweep with ``--collect-workers 2``: a
+   lease-based TCP coordinator on localhost serving two persistent
+   ``scripts/collect_worker.py`` subprocesses.  Chaos SIGKILLs one
+   worker mid-slice (exactly once) and chaos-disconnects the other's
+   connection mid-conversation (exactly once); the coordinator must
+   fence the lost leases, re-dispatch their slices, and finish with
+   every table row **bitwise identical** to leg 1's in-process
+   reference — the remote transport is pure plumbing.
 
 Exit code 0 = all assertions hold.  Designed to be fast (a few
 minutes) and deterministic: every fault fires at a named injection
@@ -39,6 +47,7 @@ import argparse
 import hashlib
 import json
 import os
+import socket
 import subprocess
 import sys
 import tempfile
@@ -295,6 +304,102 @@ def main(argv=None) -> int:
     print(
         f"OK: prefetch crash fired; all {len(async_reference)} arms "
         "bitwise identical to the undisturbed async reference"
+    )
+
+    print("\n=== remote leg: kill + disconnect leased TCP workers ===")
+    # A fixed port so persistent workers can re-lease across the
+    # sweep's successive per-arm coordinators; --jobs 1 (argparse
+    # last-wins over SWEEP_ARGS) keeps one coordinator on it at a time.
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+    kill_dir = workdir / "chaos_remote_kill"
+    disc_dir = workdir / "chaos_remote_disc"
+    remote_env = dict(base_env)
+    remote_env["RLPLANNER_CHAOS"] = json.dumps(
+        [
+            # SIGKILL one remote worker mid-slice, once (fires inside
+            # a collect_worker.py subprocess — the trainer runs no
+            # collector.slice point of its own under remote dispatch).
+            {
+                "point": "collector.slice",
+                "mode": "crash",
+                "times": 1,
+                "dir": str(kill_dir),
+            },
+            # Sever the other worker's connection mid-conversation,
+            # once (worker-side recv; it must reconnect and re-lease).
+            {
+                "point": "transport.recv",
+                "mode": "disconnect",
+                "match": "worker",
+                "times": 1,
+                "dir": str(disc_dir),
+            },
+        ]
+    )
+    workers = [
+        subprocess.Popen(
+            [
+                sys.executable,
+                str(REPO_ROOT / "scripts" / "collect_worker.py"),
+                "--connect",
+                f"127.0.0.1:{port}",
+                "--worker-id",
+                f"ci-remote-{index}",
+                "--persist",
+                "--backoff-base",
+                "0.1",
+                "--backoff-max",
+                "1.0",
+            ],
+            env=remote_env,
+            cwd=REPO_ROOT,
+        )
+        for index in range(2)
+    ]
+    try:
+        run_sweep(
+            workdir / "remote_out",
+            remote_env,
+            extra=[
+                "--collect-workers",
+                "2",
+                "--collect-bind",
+                f"127.0.0.1:{port}",
+                "--jobs",
+                "1",
+            ],
+        )
+    finally:
+        for worker in workers:
+            if worker.poll() is None:
+                worker.terminate()
+        for worker in workers:
+            try:
+                worker.wait(timeout=20)
+            except subprocess.TimeoutExpired:
+                worker.kill()
+                worker.wait(timeout=20)
+    assert len(list(kill_dir.iterdir())) == 1, (
+        "the remote-worker SIGKILL never fired"
+    )
+    assert len(list(disc_dir.iterdir())) == 1, (
+        "the chaos disconnect never fired"
+    )
+    remote = load_table_rows(workdir / "remote_out")
+    assert remote.keys() == reference.keys(), (
+        "remote-leg sweep covers different arms than the reference"
+    )
+    for arm, expected in reference.items():
+        assert remote[arm] == expected, (
+            f"{arm}: with remote collection under kill+disconnect "
+            f"{remote[arm]} != reference {expected} — lease recovery "
+            "was not bitwise-faithful"
+        )
+    print(
+        f"OK: remote kill + disconnect both fired; all {len(reference)} "
+        "arms bitwise identical to the in-process reference"
     )
 
     print("\nchaos smoke: PASS")

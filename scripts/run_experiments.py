@@ -71,6 +71,22 @@ def parse_args(argv=None):
         "--batch-size >= 2 to take effect",
     )
     parser.add_argument(
+        "--collect-workers",
+        type=int,
+        default=0,
+        help="remote (multi-machine) episode collection per RL arm: "
+        "open a lease-based TCP coordinator serving wave-aligned "
+        "slices to scripts/collect_worker.py processes (0 = off); "
+        "bitwise identical at any count, degrades to --collect-jobs "
+        "then in-process; needs --batch-size >= 2",
+    )
+    parser.add_argument(
+        "--collect-bind",
+        default="127.0.0.1:0",
+        help="host:port the collection coordinator binds (port 0 = "
+        "ephemeral); use 0.0.0.0:<port> for workers on other machines",
+    )
+    parser.add_argument(
         "--async-collect",
         action="store_true",
         help="pipeline collection with PPO updates (one-epoch policy "
@@ -188,6 +204,8 @@ def build_budget(args) -> ExperimentBudget:
         sa_iterations_hotspot=args.sa_iters,
         rollout_batch_size=args.batch_size,
         collect_jobs=args.collect_jobs,
+        collect_workers=args.collect_workers,
+        collect_bind=args.collect_bind,
         async_collect=args.async_collect,
         sa_chains=args.sa_chains,
         position_samples=(args.positions, args.positions),

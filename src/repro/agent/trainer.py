@@ -116,6 +116,23 @@ class TrainerConfig:
     # in-process collection the same schedule runs, just without the
     # speedup).
     async_collect: bool = False
+    # Remote (multi-machine) episode collection.  0 = off.  >= 1 opens
+    # a lease-based TCP coordinator (bound at ``collect_bind``) and
+    # cuts each epoch into ``collect_workers`` wave-aligned slices
+    # served by whatever remote workers (scripts/collect_worker.py)
+    # lease in — the count sets partition granularity, not a connection
+    # requirement.  Like collect_jobs, the knob is non-semantic: slices
+    # are pure in (weight bytes, per-episode seed streams), so results
+    # are bitwise identical to in-process collection at any worker
+    # count, under worker kills, disconnects and lease expiries — only
+    # wall clock changes.  With no remote workers reachable the
+    # trainer degrades to the local pool (collect_jobs >= 2), then to
+    # in-process.  Requires the batched engine (batch_size >= 2).
+    collect_workers: int = 0
+    # host:port the coordinator binds ("127.0.0.1:0" = loopback,
+    # ephemeral port; use "0.0.0.0:<port>" to accept workers from other
+    # machines).  Non-semantic, like collect_workers.
+    collect_bind: str = "127.0.0.1:0"
     gamma: float = 0.99
     gae_lambda: float = 0.95
     learning_rate: float = 3e-4
@@ -144,6 +161,15 @@ class TrainerConfig:
             raise ValueError("batch_size must be >= 1")
         if self.collect_jobs < 1:
             raise ValueError("collect_jobs must be >= 1")
+        if self.collect_workers < 0:
+            raise ValueError("collect_workers must be >= 0 (0 = off)")
+        if self.collect_workers:
+            host, _, port = self.collect_bind.rpartition(":")
+            if not host or not port.isdigit():
+                raise ValueError(
+                    "collect_bind must be 'host:port' (port 0 = "
+                    f"ephemeral), got {self.collect_bind!r}"
+                )
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
         if self.async_collect and self.batch_size < 2:
@@ -239,18 +265,41 @@ class RLPlannerTrainer:
                 env.system, env.reward_calculator, env.config
             )
         collect_jobs = self.config.collect_jobs
-        if collect_jobs > 1 and self.batched_env is None:
+        collect_workers = self.config.collect_workers
+        if (collect_jobs > 1 or collect_workers) and self.batched_env is None:
             _logger.warning(
-                "collect_jobs=%d requested but batch_size=1 selects the "
-                "sequential engine, whose episodes share one action stream "
-                "and cannot be sharded bitwise; collecting in-process "
-                "instead (set batch_size >= 2 to distribute collection)",
+                "collect_jobs=%d/collect_workers=%d requested but "
+                "batch_size=1 selects the sequential engine, whose episodes "
+                "share one action stream and cannot be sharded bitwise; "
+                "collecting in-process instead (set batch_size >= 2 to "
+                "distribute collection)",
                 collect_jobs,
+                collect_workers,
             )
             collect_jobs = 1
+            collect_workers = 0
         self.collect_jobs = collect_jobs
-        self._collector: EpisodeCollector | None = None
-        if collect_jobs > 1:
+        self.collect_workers = collect_workers
+        self._collector = None  # EpisodeCollector | RemoteEpisodeCollector
+        if collect_workers:
+            # Deferred import: the remote module pulls in the socket
+            # transport, which pure in-process training never needs.
+            from repro.parallel.remote import RemoteEpisodeCollector
+
+            host, _, port = self.config.collect_bind.rpartition(":")
+            self._collector = RemoteEpisodeCollector(
+                env.system,
+                env.reward_calculator,
+                env.config,
+                workers=collect_workers,
+                batch_size=self.config.batch_size,
+                seed=self.config.seed,
+                encoder_channels=self.config.encoder_channels,
+                host=host,
+                port=int(port),
+                local_jobs=collect_jobs,
+            )
+        elif collect_jobs > 1:
             self._collector = EpisodeCollector(
                 env.system,
                 env.reward_calculator,
@@ -433,10 +482,24 @@ class RLPlannerTrainer:
             self._stale_weights = None
         return start, collected
 
-    def close_collector(self) -> None:
-        """Release collection worker processes (no-op when in-process).
+    @property
+    def collector_address(self) -> tuple | None:
+        """The remote coordinator's ``(host, port)``, or None.
 
-        Idempotent; the pool respawns lazily if collection continues.
+        Remote workers (``scripts/collect_worker.py``) connect here;
+        with ``collect_bind`` port 0 this is how the actual ephemeral
+        port is discovered.
+        """
+        if self._collector is None or not hasattr(self._collector, "address"):
+            return None
+        return self._collector.address
+
+    def close_collector(self) -> None:
+        """Release collection workers (no-op when in-process).
+
+        Idempotent; the local pool respawns — and the remote
+        coordinator rebinds its remembered port — lazily if collection
+        continues.
         """
         if self._collector is not None:
             self._collector.close()
@@ -634,9 +697,10 @@ class RLPlannerTrainer:
             "batch_size": self.config.batch_size,
             # Recorded for provenance only: per-episode streams are
             # derived statelessly from (seed, episode_index), so a run
-            # may legally resume under a *different* collect_jobs and
-            # stay bitwise.
+            # may legally resume under a *different* collect_jobs or
+            # collect_workers and stay bitwise.
             "collect_jobs": self.config.collect_jobs,
+            "collect_workers": self.config.collect_workers,
             # Semantic, unlike collect_jobs: an async run's data comes
             # from a one-update-older policy, so resuming under the
             # other mode cannot reproduce the original run.

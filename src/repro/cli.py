@@ -56,6 +56,8 @@ def _budget_from_args(args) -> ExperimentBudget:
         seed=args.seed,
         rollout_batch_size=args.batch_size,
         collect_jobs=args.collect_jobs,
+        collect_workers=args.collect_workers,
+        collect_bind=args.collect_bind,
         async_collect=args.async_collect,
         sa_chains=args.sa_chains,
         sa_incremental=args.sa_incremental,
@@ -85,6 +87,24 @@ def _add_budget_args(parser) -> None:
         "in-process with a warning on single-CPU hosts); bitwise "
         "identical to 1 at any count, requires --batch-size >= 2 to "
         "take effect",
+    )
+    parser.add_argument(
+        "--collect-workers",
+        type=int,
+        default=0,
+        help="remote (multi-machine) episode collection: open a "
+        "lease-based TCP coordinator and cut each epoch into this many "
+        "wave-aligned slices served by scripts/collect_worker.py "
+        "processes (0 = off); bitwise identical to in-process at any "
+        "count, degrades to --collect-jobs then in-process when no "
+        "workers are reachable; requires --batch-size >= 2",
+    )
+    parser.add_argument(
+        "--collect-bind",
+        default="127.0.0.1:0",
+        help="host:port the collection coordinator binds (port 0 = "
+        "ephemeral); use 0.0.0.0:<port> to accept workers from other "
+        "machines",
     )
     parser.add_argument(
         "--async-collect",

@@ -133,6 +133,15 @@ class ExperimentBudget:
     # sequential engine the trainer warns and collects in-process), so
     # like the checkpoint cadences it never enters a store key.
     collect_jobs: int = 1
+    # Remote (multi-machine) episode collection within one RL arm
+    # (TrainerConfig.collect_workers / collect_bind): >= 1 opens a
+    # lease-based TCP coordinator and serves wave-aligned slices to
+    # whatever scripts/collect_worker.py processes lease in, degrading
+    # to the local pool / in-process when none do.  Bitwise-invariant
+    # like collect_jobs (slices are pure in weight bytes + seed
+    # streams), so neither knob enters a store key.
+    collect_workers: int = 0
+    collect_bind: str = "127.0.0.1:0"
     # Pipeline episode collection with PPO updates: epoch k+1 is
     # collected with the pre-update epoch-k policy while the learner
     # runs update k (TrainerConfig.async_collect).  One epoch of policy
@@ -176,6 +185,8 @@ _NON_SEMANTIC_BUDGET_FIELDS = (
     "rl_checkpoint_every",
     "sa_checkpoint_every",
     "collect_jobs",
+    "collect_workers",
+    "collect_bind",
 )
 
 
@@ -322,6 +333,8 @@ def _run_rl(
             episodes_per_epoch=budget.episodes_per_epoch,
             batch_size=budget.rollout_batch_size,
             collect_jobs=budget.collect_jobs,
+            collect_workers=budget.collect_workers,
+            collect_bind=budget.collect_bind,
             async_collect=budget.async_collect,
             seed=budget.seed,
             use_rnd=use_rnd,

@@ -24,6 +24,7 @@ from repro.nn.serialization import (
     CHECKPOINT_SCHEMA_VERSION,
     CheckpointSchemaError,
     LegacyCheckpointError,
+    PayloadIntegrityError,
     dumps_payload,
     load_payload,
     load_state_dict,
@@ -57,4 +58,5 @@ __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
     "CheckpointSchemaError",
     "LegacyCheckpointError",
+    "PayloadIntegrityError",
 ]

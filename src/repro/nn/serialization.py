@@ -24,10 +24,18 @@ The split exists so resumable checkpoints can be told apart from legacy
 weight-only files: :func:`load_payload` raises
 :class:`LegacyCheckpointError` on an archive without ``__meta__``
 instead of silently resuming with reset optimizer/RNG state.
+
+Every payload (bytes or file) is sealed with a SHA-256 **integrity
+footer**: truncated or bit-flipped payloads fail loudly as
+:class:`PayloadIntegrityError` — an ``OSError`` subclass, so the retry
+policy classifies corruption-in-transit as transient (re-broadcast /
+re-read) while the store's corrupt-quarantine path still catches it as
+a :class:`CheckpointSchemaError`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
 import pickle
@@ -41,6 +49,7 @@ __all__ = [
     "CHECKPOINT_SCHEMA_VERSION",
     "CheckpointSchemaError",
     "LegacyCheckpointError",
+    "PayloadIntegrityError",
     "save_state_dict",
     "load_state_dict",
     "save_payload",
@@ -54,10 +63,19 @@ __all__ = [
 #: loudly (``CheckpointSchemaError``) instead of resuming wrong.
 #: v2: trainer checkpoints gained the distributed-collection state
 #: (``collect_jobs`` and the explicit ``best_episode`` selection index).
-CHECKPOINT_SCHEMA_VERSION = 2
+#: v3: payloads carry a SHA-256 integrity footer, so corruption fails
+#: as ``PayloadIntegrityError`` instead of a confusing unpickle error.
+CHECKPOINT_SCHEMA_VERSION = 3
 
 _META_KEY = "__meta__"
 _FORMAT = "repro-checkpoint"
+
+#: Trailing integrity footer: 8-byte magic + SHA-256 of everything
+#: before it.  Appended *outside* the npz archive so verification needs
+#: no zip parsing — a truncated file fails before np.load ever runs.
+_FOOTER_MAGIC = b"RPRSHA2\x00"
+_DIGEST_BYTES = 32
+_FOOTER_BYTES = len(_FOOTER_MAGIC) + _DIGEST_BYTES
 
 
 class CheckpointSchemaError(RuntimeError):
@@ -68,6 +86,46 @@ class LegacyCheckpointError(CheckpointSchemaError):
     """A weight-only legacy archive was given where a full versioned
     checkpoint is required (it has no optimizer/RNG payload to resume
     from)."""
+
+
+class PayloadIntegrityError(CheckpointSchemaError, OSError):
+    """The payload bytes fail their SHA-256 integrity footer.
+
+    Deliberately double-classified: as a :class:`CheckpointSchemaError`
+    the run store quarantines a corrupted artifact to ``*.corrupt``
+    like any other schema failure, and as an ``OSError`` the fault
+    layer (:data:`repro.parallel.faults.TRANSIENT_EXCEPTIONS`)
+    classifies corruption-in-transit as *transient* — a re-broadcast or
+    re-read of the same source bytes is expected to succeed.
+    """
+
+
+def _seal(data: bytes) -> bytes:
+    """Append the integrity footer to serialized payload bytes."""
+    return data + _FOOTER_MAGIC + hashlib.sha256(data).digest()
+
+
+def _unseal(data: bytes, source: str) -> bytes:
+    """Verify and strip the integrity footer; raise on any mismatch.
+
+    Bytes without the footer magic fall through unchanged: legacy
+    archives (schema v2 payloads, weight-only state dicts) must keep
+    raising their specific, actionable errors downstream
+    (``CheckpointSchemaError`` version mismatch /
+    ``LegacyCheckpointError``) rather than a generic corruption one.
+    """
+    if (
+        len(data) >= _FOOTER_BYTES
+        and data[-_FOOTER_BYTES : -_DIGEST_BYTES] == _FOOTER_MAGIC
+    ):
+        body, digest = data[:-_FOOTER_BYTES], data[-_DIGEST_BYTES:]
+        if hashlib.sha256(body).digest() != digest:
+            raise PayloadIntegrityError(
+                f"{source}: payload bytes fail their SHA-256 integrity "
+                "footer — the archive was corrupted in transit or on disk"
+            )
+        return body
+    return data
 
 
 def save_state_dict(state: dict, path) -> None:
@@ -196,14 +254,16 @@ def save_payload(payload: dict, path, kind: str) -> None:
 
     The write is atomic (temp file + ``os.replace``): checkpoints are
     typically overwritten in place, and a kill mid-write must corrupt
-    the *new* file, never the last good one.
+    the *new* file, never the last good one.  The written bytes are
+    exactly :func:`dumps_payload`'s (integrity footer included), so the
+    two forms are interchangeable byte-for-byte.
     """
-    arrays = _pack(payload, kind)
+    data = dumps_payload(payload, kind)
     path = Path(path)
     if not path.suffix:
-        path = path.with_suffix(".npz")  # np.savez would append it anyway
+        path = path.with_suffix(".npz")  # historical np.savez convention
     with atomic_replace(path, suffix=".npz") as tmp:
-        np.savez_compressed(tmp, **arrays)
+        Path(tmp).write_bytes(data)
 
 
 def load_payload(path, kind: str | None = None) -> dict:
@@ -214,13 +274,13 @@ def load_payload(path, kind: str | None = None) -> dict:
     LegacyCheckpointError
         The file is a plain (weight-only) state-dict archive with no
         schema marker — it cannot seed a bitwise resume.
+    PayloadIntegrityError
+        The file fails its integrity footer (corrupted/truncated).
     CheckpointSchemaError
         Schema version or ``kind`` mismatch.
     """
     path = Path(path)
-    with np.load(path) as data:
-        arrays = {key: data[key].copy() for key in data.files}
-    return _unpack(arrays, kind, str(path))
+    return loads_payload(path.read_bytes(), kind, source=str(path))
 
 
 def dumps_payload(payload: dict, kind: str) -> bytes:
@@ -228,15 +288,33 @@ def dumps_payload(payload: dict, kind: str) -> bytes:
 
     Used where the payload crosses a process boundary instead of a
     filesystem: the collector broadcasts policy weights to its workers
-    as one opaque byte string per epoch.
+    as one opaque byte string per epoch.  The bytes end in a SHA-256
+    integrity footer so corruption in transit fails loudly (and
+    transiently) at :func:`loads_payload`.
     """
     buffer = io.BytesIO()
     np.savez_compressed(buffer, **_pack(payload, kind))
-    return buffer.getvalue()
+    return _seal(buffer.getvalue())
 
 
-def loads_payload(data: bytes, kind: str | None = None) -> dict:
-    """Decode a payload produced by :func:`dumps_payload`."""
-    with np.load(io.BytesIO(data)) as npz:
-        arrays = {key: npz[key].copy() for key in npz.files}
-    return _unpack(arrays, kind, "<payload bytes>")
+def loads_payload(
+    data: bytes, kind: str | None = None, *, source: str = "<payload bytes>"
+) -> dict:
+    """Decode a payload produced by :func:`dumps_payload`.
+
+    Verifies the integrity footer first; an archive that then fails to
+    parse at all (a truncation that also destroyed the footer) raises
+    :class:`PayloadIntegrityError` rather than a raw zip error.
+    """
+    body = _unseal(data, source)
+    try:
+        with np.load(io.BytesIO(body)) as npz:
+            arrays = {key: npz[key].copy() for key in npz.files}
+    except PayloadIntegrityError:
+        raise
+    except Exception as error:
+        raise PayloadIntegrityError(
+            f"{source}: payload bytes are not a readable archive "
+            f"({error!r}) — truncated or corrupted"
+        ) from error
+    return _unpack(arrays, kind, source)

@@ -12,25 +12,36 @@ back to the operand's shape (:func:`_unbroadcast`).
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 
 import numpy as np
 
 __all__ = ["Tensor", "no_grad"]
 
-_grad_enabled = True
+# Graph recording is toggled per *thread*: a worker thread collecting
+# rollouts under ``no_grad()`` must not disable recording for a trainer
+# thread mid-backward (two interleaved save/restore pairs on one global
+# can even leave it stuck off after both exit).
+_grad_state = threading.local()
+
+
+def _grad_enabled() -> bool:
+    return getattr(_grad_state, "enabled", True)
 
 
 @contextmanager
 def no_grad():
-    """Disable graph recording (inference / rollout collection)."""
-    global _grad_enabled
-    previous = _grad_enabled
-    _grad_enabled = False
+    """Disable graph recording (inference / rollout collection).
+
+    Thread-local: only the calling thread stops recording.
+    """
+    previous = _grad_enabled()
+    _grad_state.enabled = False
     try:
         yield
     finally:
-        _grad_enabled = previous
+        _grad_state.enabled = previous
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
@@ -74,7 +85,7 @@ class Tensor:
     @classmethod
     def _from_op(cls, data, parents, backward) -> "Tensor":
         out = cls(data)
-        if _grad_enabled and any(p.requires_grad for p in parents):
+        if _grad_enabled() and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward
@@ -242,7 +253,7 @@ class Tensor:
     # ------------------------------------------------------------------
 
     def relu(self):
-        if not _grad_enabled:
+        if not _grad_enabled():
             # Inference fast path: no mask materialization, no closure.
             return Tensor(np.maximum(self.data, 0.0))
         mask = self.data > 0

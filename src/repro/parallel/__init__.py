@@ -23,8 +23,14 @@ them across process pools:
   deterministic classification, :class:`RetryPolicy` (exponential
   backoff with seeded jitter), and the per-job :class:`SweepReport`.
 * :mod:`repro.parallel.chaos` — deterministic, seeded fault injection
-  (crash/hang/raise at named points, via ``RLPLANNER_CHAOS``) so every
-  failure path above is CI-testable.
+  (crash/hang/raise at named points, plus network faults at
+  ``transport.*`` points, via ``RLPLANNER_CHAOS``) so every failure
+  path above is CI-testable.
+* :mod:`repro.parallel.transport` — length-prefixed, checksummed TCP
+  frames carrying the existing payload schema between machines.
+* :mod:`repro.parallel.remote` — lease-based multi-machine episode
+  collection: a coordinator with heartbeats, fencing and re-dispatch,
+  the remote worker loop, and :class:`RemoteEpisodeCollector`.
 """
 
 from repro.parallel.cache import FileLock, atomic_replace
@@ -52,9 +58,11 @@ __all__ = [
     "JobOutcome",
     "JobSpec",
     "JobTimeoutError",
+    "RemoteEpisodeCollector",
     "RemoteTraceback",
     "RetryPolicy",
     "SweepReport",
+    "WorkerCoordinator",
     "WorkerCrashError",
     "WorkerInitError",
     "atomic_replace",
@@ -63,18 +71,24 @@ __all__ = [
     "resolve_collect_jobs",
     "resolve_jobs",
     "run_jobs",
+    "run_worker",
 ]
 
 _COLLECTOR_EXPORTS = ("EpisodeCollector", "collect_slice", "partition_episodes")
+_REMOTE_EXPORTS = ("RemoteEpisodeCollector", "WorkerCoordinator", "run_worker")
 
 
 def __getattr__(name: str):
-    # The collector is re-exported lazily: it imports repro.nn, whose
-    # serialization module imports repro.parallel.cache — an eager
-    # import here would close that cycle while repro.nn is still
-    # initializing.
+    # The collector and remote modules are re-exported lazily: both
+    # import repro.nn, whose serialization module imports
+    # repro.parallel.cache — an eager import here would close that
+    # cycle while repro.nn is still initializing.
     if name in _COLLECTOR_EXPORTS:
         from repro.parallel import collector
 
         return getattr(collector, name)
+    if name in _REMOTE_EXPORTS:
+        from repro.parallel import remote
+
+        return getattr(remote, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -10,6 +10,9 @@ plants named **injection points** on the hot paths::
     collector.prefetch — same worker-side site, for slices dispatched
                          ahead of time by the async (pipelined) trainer
     store.write        — in RunStore, before an artifact is written
+    transport.send     — in the socket transport, before a frame is sent
+    transport.recv     — in the socket transport, around a frame read
+    transport.accept   — in the coordinator, after accepting a connection
 
 and fires configured faults at them:
 
@@ -19,6 +22,13 @@ and fires configured faults at them:
 * ``raise`` — raise :class:`TransientChaosError` (an ``OSError``, so
   the retry policy classifies it transient) or
   :class:`DeterministicChaosError` (permanently failing job).
+* ``delay`` — sleep ``delay_s`` then continue (network latency spike);
+* ``drop`` / ``corrupt`` / ``disconnect`` — *network* faults.  These
+  cannot be enacted by raising: the transport call site must skip the
+  write, flip payload bytes, or close the socket itself.
+  :func:`maybe_fail` therefore *returns* the fired mode string and the
+  transport enacts it (non-transport call sites ignore the return
+  value, so the modes are only meaningful at ``transport.*`` points).
 
 Configuration travels through the ``RLPLANNER_CHAOS`` environment
 variable — a JSON object or list of objects — so pool workers inherit
@@ -62,7 +72,10 @@ __all__ = [
 
 CHAOS_ENV = "RLPLANNER_CHAOS"
 
-MODES = ("crash", "hang", "raise")
+MODES = ("crash", "hang", "raise", "delay", "drop", "corrupt", "disconnect")
+
+#: Modes the call site must enact itself (returned by ``maybe_fail``).
+ENACTED_MODES = ("drop", "corrupt", "disconnect")
 
 #: Injection points instrumented in this codebase (documentation +
 #: validation; firing at an unknown point is a configuration typo).
@@ -72,6 +85,9 @@ KNOWN_POINTS = (
     "collector.slice",
     "collector.prefetch",
     "store.write",
+    "transport.send",
+    "transport.recv",
+    "transport.accept",
 )
 
 
@@ -101,6 +117,7 @@ class ChaosSpec:
     times: int = 1
     error: str = "transient"  # "transient" | "deterministic"
     hang_s: float = 3600.0
+    delay_s: float = 0.25
     dir: str | None = None
 
     def __post_init__(self):
@@ -110,10 +127,17 @@ class ChaosSpec:
             raise ValueError(
                 f"unknown chaos point {self.point!r}; known: {KNOWN_POINTS}"
             )
+        if self.mode in ENACTED_MODES and not self.point.startswith("transport."):
+            raise ValueError(
+                f"chaos mode {self.mode!r} is a network fault and only "
+                f"fires at transport.* points, not {self.point!r}"
+            )
         if self.error not in ("transient", "deterministic"):
             raise ValueError(f"chaos error must be transient|deterministic, got {self.error!r}")
         if self.times < 0:
             raise ValueError("times must be >= 0 (0 = unlimited)")
+        if self.delay_s < 0:
+            raise ValueError("delay_s must be >= 0")
 
 
 class ChaosInjector:
@@ -145,17 +169,27 @@ class ChaosInjector:
             return True
         return False
 
-    def maybe_fail(self, point: str, detail: str = "") -> None:
-        """Fire every matching spec at ``point`` (crash/hang/raise)."""
+    def maybe_fail(self, point: str, detail: str = "") -> str | None:
+        """Fire every matching spec at ``point``.
+
+        Crash/hang/raise/delay faults are enacted here.  Network faults
+        (:data:`ENACTED_MODES`) cannot be — skipping a write or closing
+        a socket is the call site's job — so the first fired one is
+        *returned* for the transport to enact.
+        """
+        action = None
         for index, spec in enumerate(self.specs):
             if spec.point != point or spec.match not in detail:
                 continue
             if not self._claim(index, spec):
                 continue
-            self._fire(spec, point, detail)
+            fired = self._fire(spec, point, detail)
+            if fired is not None and action is None:
+                action = fired
+        return action
 
     @staticmethod
-    def _fire(spec: ChaosSpec, point: str, detail: str) -> None:
+    def _fire(spec: ChaosSpec, point: str, detail: str) -> str | None:
         message = f"chaos[{spec.mode}] at {point} ({detail or 'unmatched'})"
         print(message, file=sys.stderr, flush=True)
         if spec.mode == "crash":
@@ -164,7 +198,12 @@ class ChaosInjector:
             os.kill(os.getpid(), signal.SIGKILL)
         if spec.mode == "hang":
             time.sleep(spec.hang_s)
-            return
+            return None
+        if spec.mode == "delay":
+            time.sleep(spec.delay_s)
+            return None
+        if spec.mode in ENACTED_MODES:
+            return spec.mode
         if spec.error == "deterministic":
             raise DeterministicChaosError(message)
         raise TransientChaosError(message)
@@ -202,8 +241,13 @@ def chaos_from_env() -> ChaosInjector | None:
     return _ENV_CACHE[1]
 
 
-def maybe_fail(point: str, detail: str = "") -> None:
-    """Injection-point hook; a no-op unless chaos is configured."""
+def maybe_fail(point: str, detail: str = "") -> str | None:
+    """Injection-point hook; a no-op unless chaos is configured.
+
+    Returns the fired network-fault mode (``drop`` / ``corrupt`` /
+    ``disconnect``) for the transport call site to enact, else None.
+    """
     injector = chaos_from_env()
-    if injector is not None:
-        injector.maybe_fail(point, detail)
+    if injector is None:
+        return None
+    return injector.maybe_fail(point, detail)

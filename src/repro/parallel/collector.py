@@ -86,6 +86,7 @@ from repro.utils import SeedSequence, get_logger
 __all__ = [
     "EpisodeCollector",
     "POLICY_PAYLOAD_KIND",
+    "ReplicaCollector",
     "collect_slice",
     "collect_wave",
     "partition_episodes",
@@ -211,6 +212,76 @@ def collect_slice(
         ]
         collected.extend(collect_wave(network, batched_env, rngs, greedy))
     return collected
+
+
+class ReplicaCollector:
+    """A lazily built env + network replica collecting from weight bytes.
+
+    The one in-process collection engine every fallback path shares:
+    the pool's degradation rung, the remote collector's last rung, and
+    the remote worker's task loop all call :meth:`collect` with the
+    broadcast payload bytes and a list of ``(index, (start, size))``
+    slices.  Construction is deferred to first use (degradation paths
+    are usually never taken), and the network's init weights are
+    irrelevant — every call starts by loading the broadcast payload —
+    so a fixed dummy RNG keeps it cheap and seed-independent.
+    """
+
+    def __init__(
+        self, system, reward_calculator, env_config, channels, batch_size, seed
+    ):
+        self._env_args = (system, reward_calculator, env_config)
+        self._channels = tuple(channels)
+        self.batch_size = batch_size
+        self._seed = seed
+        self._network = None
+        self._batched_env = None
+        self._seeds: SeedSequence | None = None
+
+    def _ensure(self) -> None:
+        if self._network is not None:
+            return
+        # Imported lazily: repro.agent.__init__ imports the trainer,
+        # which imports this module — a module-level import of the
+        # networks would close that cycle during interpreter start-up.
+        from repro.agent.networks import ActorCritic
+        from repro.env import BatchedFloorplanEnv, FloorplanEnv
+
+        env = FloorplanEnv(*self._env_args)
+        self._network = ActorCritic(
+            env.observation_shape,
+            env.n_actions,
+            channels=self._channels,
+            rng=np.random.default_rng(0),
+        )
+        self._batched_env = BatchedFloorplanEnv(*self._env_args)
+        self._seeds = SeedSequence(self._seed)
+
+    def collect(self, weights: bytes, slices: list, greedy: bool) -> dict:
+        """Run ``[(index, (start, size)), ...]``; returns {index: pairs}.
+
+        Loads the broadcast payload into the replica — never a live
+        training network, which under async collection may already hold
+        post-update weights — then runs the one lockstep loop.  The
+        payload round-trips bit-for-bit, so every engine that runs this
+        code on the same bytes agrees bitwise.
+        """
+        self._ensure()
+        self._network.load_state_dict(
+            loads_payload(weights, kind=POLICY_PAYLOAD_KIND)
+        )
+        return {
+            index: collect_slice(
+                self._network,
+                self._batched_env,
+                self._seeds,
+                start,
+                size,
+                self.batch_size,
+                greedy=greedy,
+            )
+            for index, (start, size) in slices
+        }
 
 
 # ----------------------------------------------------------------------
@@ -410,9 +481,7 @@ class EpisodeCollector:
         self._consecutive_failures = 0
         self._degraded = False
         self._inprocess_rounds = 0
-        self._fallback_env = None
-        self._fallback_network = None
-        self._fallback_seeds: SeedSequence | None = None
+        self._fallback: ReplicaCollector | None = None
         # Outstanding prefetch (async mode): {"weights", "slices",
         # "futures", "greedy"} or None.  At most one at a time.
         self._prefetch: dict | None = None
@@ -460,43 +529,18 @@ class EpisodeCollector:
     ) -> dict:
         """Run ``slices`` through the same lockstep loop, in the parent.
 
-        The degradation path: builds a lazily cached
-        ``BatchedFloorplanEnv`` + network replica and loads the
-        *broadcast payload* into it — never the trainer's live network,
-        which under async collection may already hold post-update
-        weights.  The payload round-trips bit-for-bit, so pool and
-        in-process collection agree regardless.
+        The degradation path, delegated to a lazily cached
+        :class:`ReplicaCollector` (which loads the *broadcast payload*,
+        never the trainer's live network — see its docstring).
         """
-        if self._fallback_env is None:
-            # Imported lazily for the same repro.agent import-cycle
-            # reason as the worker initializer.
-            from repro.agent.networks import ActorCritic
-            from repro.env import BatchedFloorplanEnv, FloorplanEnv
-
-            env = FloorplanEnv(*self._env_args)
-            self._fallback_network = ActorCritic(
-                env.observation_shape,
-                env.n_actions,
+        if self._fallback is None:
+            self._fallback = ReplicaCollector(
+                *self._env_args,
                 channels=self._initargs[3],
-                rng=np.random.default_rng(0),
+                batch_size=self.batch_size,
+                seed=self._seed,
             )
-            self._fallback_env = BatchedFloorplanEnv(*self._env_args)
-            self._fallback_seeds = SeedSequence(self._seed)
-        self._fallback_network.load_state_dict(
-            loads_payload(weights, kind=POLICY_PAYLOAD_KIND)
-        )
-        return {
-            index: collect_slice(
-                self._fallback_network,
-                self._fallback_env,
-                self._fallback_seeds,
-                start,
-                size,
-                self.batch_size,
-                greedy=greedy,
-            )
-            for index, (start, size) in slices
-        }
+        return self._fallback.collect(weights, slices, greedy)
 
     def _degrade(self, reason: str) -> None:
         _logger.error(

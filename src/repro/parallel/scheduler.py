@@ -66,6 +66,7 @@ from repro.parallel import chaos
 from repro.parallel.faults import (
     JobOutcome,
     JobTimeoutError,
+    RetryBudget,
     RetryPolicy,
     SweepReport,
     WorkerCrashError,
@@ -293,6 +294,9 @@ def run_jobs(
     _validate(specs)
     policy = policy if policy is not None else RetryPolicy()
     report = report if report is not None else SweepReport()
+    # One mutable budget per sweep: with no sweep-wide caps configured
+    # on the policy, every allow() grants and behavior is unchanged.
+    budget = RetryBudget(policy)
     if not specs:
         return {}
     done: dict = {}
@@ -308,12 +312,30 @@ def run_jobs(
                     report.record(JobOutcome(spec.job_id, "cached"))
                     continue
             pending.append(spec)
-    if jobs == 1:
-        _run_sequential(pending, done, store, policy, keep_going, report)
-    else:
-        _run_supervised(
-            pending, jobs, done, store, policy, job_timeout, keep_going, report
-        )
+    try:
+        if jobs == 1:
+            _run_sequential(
+                pending, done, store, policy, budget, keep_going, report
+            )
+        else:
+            _run_supervised(
+                pending,
+                jobs,
+                done,
+                store,
+                policy,
+                budget,
+                job_timeout,
+                keep_going,
+                report,
+            )
+    finally:
+        if (
+            policy.sweep_retry_budget is not None
+            or policy.sweep_retry_window_s is not None
+            or budget.granted
+        ):
+            report.attach_retry_budget(budget)
     return {
         spec.job_id: done[spec.job_id]
         for spec in specs
@@ -349,6 +371,7 @@ def _run_sequential(
     done: dict,
     store,
     policy: RetryPolicy,
+    budget: RetryBudget,
     keep_going: bool,
     report: SweepReport,
 ) -> None:
@@ -373,19 +396,27 @@ def _run_sequential(
                 result = spec.fn(**spec.resolved_kwargs(done))
             except Exception as error:
                 if policy.is_transient(error) and attempt < policy.max_attempts:
-                    delay = policy.backoff(spec.job_id, attempt)
-                    _logger.warning(
-                        "%s failed transiently (%r), attempt %d/%d; "
-                        "retrying in %.2fs",
+                    if budget.allow(spec.job_id):
+                        delay = policy.backoff(spec.job_id, attempt)
+                        _logger.warning(
+                            "%s failed transiently (%r), attempt %d/%d; "
+                            "retrying in %.2fs",
+                            spec.job_id,
+                            error,
+                            attempt,
+                            policy.max_attempts,
+                            delay,
+                        )
+                        time.sleep(delay)
+                        attempt += 1
+                        continue
+                    _logger.error(
+                        "%s failed transiently (%r) but the sweep retry "
+                        "budget is exhausted (%s); treating as permanent",
                         spec.job_id,
                         error,
-                        attempt,
-                        policy.max_attempts,
-                        delay,
+                        budget.describe(),
                     )
-                    time.sleep(delay)
-                    attempt += 1
-                    continue
                 if keep_going:
                     _logger.error(
                         "quarantining %s after %d attempt(s): %r",
@@ -554,6 +585,7 @@ def _run_supervised(
     done: dict,
     store,
     policy: RetryPolicy,
+    budget: RetryBudget,
     job_timeout: float | None,
     keep_going: bool,
     report: SweepReport,
@@ -573,21 +605,34 @@ def _run_supervised(
     def fail(rec_spec: JobSpec, attempt: int, error: BaseException) -> None:
         transient = policy.is_transient(error)
         if transient and attempt < policy.max_attempts:
-            delay = policy.backoff(rec_spec.job_id, attempt)
-            _logger.warning(
-                "%s failed transiently (%r), attempt %d/%d; retrying on a "
-                "fresh worker in %.2fs",
+            if budget.allow(rec_spec.job_id):
+                delay = policy.backoff(rec_spec.job_id, attempt)
+                _logger.warning(
+                    "%s failed transiently (%r), attempt %d/%d; retrying "
+                    "on a fresh worker in %.2fs",
+                    rec_spec.job_id,
+                    error,
+                    attempt,
+                    policy.max_attempts,
+                    delay,
+                )
+                heapq.heappush(
+                    retries,
+                    (
+                        time.monotonic() + delay,
+                        next(tiebreak),
+                        rec_spec,
+                        attempt + 1,
+                    ),
+                )
+                return
+            _logger.error(
+                "%s failed transiently (%r) but the sweep retry budget "
+                "is exhausted (%s); treating as permanent",
                 rec_spec.job_id,
                 error,
-                attempt,
-                policy.max_attempts,
-                delay,
+                budget.describe(),
             )
-            heapq.heappush(
-                retries,
-                (time.monotonic() + delay, next(tiebreak), rec_spec, attempt + 1),
-            )
-            return
         if keep_going:
             _logger.error(
                 "quarantining %s after %d attempt(s): %r",

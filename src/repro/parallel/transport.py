@@ -1,0 +1,254 @@
+"""Length-prefixed, checksummed socket frames for remote collection.
+
+The multi-machine episode collector ships the *existing* payload schema
+(:func:`repro.nn.dumps_payload` bytes — policy broadcasts, slice
+results) over plain TCP.  This module owns the wire format and nothing
+else: one **frame** is::
+
+    MAGIC(4) | version(1) | reserved(1) | meta_len(u32) | blob_len(u64)
+    | crc32(u32) | meta_json(meta_len) | blob(blob_len)
+
+where ``meta_json`` is a UTF-8 JSON object carrying the frame ``kind``
+plus small control fields, ``blob`` is an opaque byte payload (weight
+broadcasts and episode results — themselves sealed by the payload
+schema's SHA-256 footer), and ``crc32`` covers meta+blob.  Everything
+is big-endian and stdlib-only (``struct`` + ``zlib.crc32``).
+
+**Failure classification** is the point of the framing: every way a
+frame can go wrong maps onto the existing fault taxonomy
+(:data:`repro.parallel.faults.TRANSIENT_EXCEPTIONS`):
+
+* a short read mid-frame, a bad magic, an absurd length, or a CRC
+  mismatch raises :class:`FrameIntegrityError` — the stream is
+  unusable (there is no resynchronization), so the connection is
+  fenced and, being an ``OSError``, the failure is *transient*: the
+  peer reconnects and the pure slice re-dispatches bitwise;
+* a clean EOF at a frame boundary raises :class:`ConnectionClosed`
+  (also transient) — the peer went away between frames;
+* an idle receive timeout returns ``None`` when the caller opted in
+  (``idle_ok``), because "no frame yet" is a normal heartbeat-loop
+  outcome, not a fault.
+
+**Chaos.**  ``transport.send`` / ``transport.recv`` injection points
+fire per frame with ``detail = "<role>:<kind>"`` (role names the
+endpoint, e.g. ``worker:w0`` or ``coordinator``).  The *enacted* modes
+(see :mod:`repro.parallel.chaos`) are implemented here: ``drop``
+swallows a sent frame (or discards a received one), ``corrupt`` flips
+a payload byte so the peer's (or our) CRC check trips, ``disconnect``
+closes the socket mid-conversation.  ``transport.accept`` fires in the
+coordinator's accept loop.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import zlib
+
+from repro.parallel import chaos
+
+__all__ = [
+    "ConnectionClosed",
+    "FrameIntegrityError",
+    "TransportError",
+    "recv_frame",
+    "send_frame",
+]
+
+MAGIC = b"RLPT"
+VERSION = 1
+
+_HEADER = struct.Struct(">4sBxIQI")  # magic, version, pad, meta, blob, crc
+
+#: Ceiling on a single frame (1 GiB).  A length beyond this is a
+#: corrupted header, not a real payload — fail fast instead of trying
+#: to allocate garbage.
+MAX_FRAME_BYTES = 1 << 30
+
+
+class TransportError(OSError):
+    """Base class for socket-transport failures (always transient)."""
+
+
+class FrameIntegrityError(TransportError):
+    """A frame failed its checksum, magic, length, or arrived short.
+
+    The byte stream has no resynchronization point, so the connection
+    carrying it must be fenced and re-established.
+    """
+
+
+class ConnectionClosed(TransportError):
+    """The peer closed the connection (cleanly or by chaos)."""
+
+
+def _corrupt(data: bytes) -> bytes:
+    """Flip one bit of ``data`` (chaos ``corrupt`` enactment)."""
+    if not data:
+        return data
+    middle = len(data) // 2
+    return data[:middle] + bytes([data[middle] ^ 0x01]) + data[middle + 1 :]
+
+
+def _chaos_disconnect(sock: socket.socket, point: str, detail: str):
+    try:
+        sock.shutdown(socket.SHUT_RDWR)
+    except OSError:
+        pass
+    sock.close()
+    raise ConnectionClosed(f"chaos-injected disconnect at {point} ({detail})")
+
+
+def send_frame(
+    sock: socket.socket,
+    kind: str,
+    meta: dict | None = None,
+    blob: bytes = b"",
+    *,
+    lock=None,
+    detail: str = "",
+) -> None:
+    """Send one frame; ``lock`` serializes writers sharing the socket.
+
+    The worker's heartbeat thread and its task-result sends share one
+    socket, so both pass the connection's send lock — a heartbeat
+    interleaved into the middle of a result frame would destroy the
+    stream.
+    """
+    payload = dict(meta or {})
+    payload["kind"] = kind
+    meta_bytes = json.dumps(payload, sort_keys=True).encode("utf-8")
+    action = chaos.maybe_fail("transport.send", f"{detail}:{kind}")
+    if action == "drop":
+        return  # the frame vanishes on the wire; the peer never sees it
+    crc = zlib.crc32(meta_bytes)
+    crc = zlib.crc32(blob, crc)
+    if action == "corrupt":
+        # Flip a payload bit *after* computing the CRC: the peer's
+        # check is then guaranteed to trip (CRC32 detects any 1-bit
+        # error), modeling corruption on the wire.
+        if blob:
+            blob = _corrupt(blob)
+        else:
+            meta_bytes = _corrupt(meta_bytes)
+    header = _HEADER.pack(MAGIC, VERSION, len(meta_bytes), len(blob), crc)
+    data = header + meta_bytes + blob
+    try:
+        if lock is not None:
+            with lock:
+                sock.sendall(data)
+        else:
+            sock.sendall(data)
+    except OSError as error:
+        if isinstance(error, TransportError):
+            raise
+        raise ConnectionClosed(
+            f"send failed ({detail}:{kind}): {error!r}"
+        ) from error
+    if action == "disconnect":
+        _chaos_disconnect(sock, "transport.send", f"{detail}:{kind}")
+
+
+def _recv_exact(sock: socket.socket, n: int, *, what: str, any_read: bool):
+    """Read exactly ``n`` bytes or raise; None on clean EOF at start.
+
+    ``any_read`` marks whether earlier bytes of the same frame were
+    already consumed: EOF then is a *short read* (integrity failure),
+    not a clean close.
+    """
+    chunks = []
+    got = 0
+    while got < n:
+        try:
+            chunk = sock.recv(min(n - got, 1 << 20))
+        except (TimeoutError, socket.timeout):
+            if got or any_read:
+                raise FrameIntegrityError(
+                    f"timed out mid-frame reading {what} "
+                    f"({got}/{n} bytes)"
+                ) from None
+            raise
+        except OSError as error:
+            raise ConnectionClosed(
+                f"recv failed reading {what}: {error!r}"
+            ) from error
+        if not chunk:
+            if got or any_read:
+                raise FrameIntegrityError(
+                    f"short read: connection closed mid-frame reading "
+                    f"{what} ({got}/{n} bytes)"
+                )
+            return None
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(
+    sock: socket.socket, *, idle_ok: bool = False, detail: str = ""
+):
+    """Receive one frame; returns ``(kind, meta, blob)``.
+
+    Returns ``None`` on an idle receive timeout when ``idle_ok`` is set
+    (the caller's poll loop continues); a timeout *mid-frame* is always
+    a :class:`FrameIntegrityError`.  Raises :class:`ConnectionClosed`
+    on clean EOF between frames.
+    """
+    action = chaos.maybe_fail("transport.recv", detail)
+    if action == "disconnect":
+        _chaos_disconnect(sock, "transport.recv", detail)
+    try:
+        header = _recv_exact(
+            sock, _HEADER.size, what="header", any_read=False
+        )
+    except (TimeoutError, socket.timeout):
+        if idle_ok:
+            return None
+        raise FrameIntegrityError(
+            f"timed out waiting for a frame ({detail})"
+        ) from None
+    if header is None:
+        raise ConnectionClosed(f"peer closed the connection ({detail})")
+    magic, version, meta_len, blob_len, crc = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameIntegrityError(
+            f"bad frame magic {magic!r} ({detail}) — desynchronized or "
+            "corrupted stream"
+        )
+    if version != VERSION:
+        raise FrameIntegrityError(
+            f"frame version {version} != supported {VERSION} ({detail})"
+        )
+    if meta_len + blob_len > MAX_FRAME_BYTES:
+        raise FrameIntegrityError(
+            f"frame length {meta_len + blob_len} exceeds "
+            f"{MAX_FRAME_BYTES} ({detail}) — corrupted header"
+        )
+    meta_bytes = _recv_exact(sock, meta_len, what="meta", any_read=True)
+    blob = _recv_exact(sock, blob_len, what="blob", any_read=True)
+    if action == "corrupt":
+        if blob:
+            blob = _corrupt(blob)
+        else:
+            meta_bytes = _corrupt(meta_bytes)
+    actual = zlib.crc32(meta_bytes)
+    actual = zlib.crc32(blob, actual)
+    if actual != crc:
+        raise FrameIntegrityError(
+            f"frame checksum mismatch ({detail}): got {actual:#010x}, "
+            f"header says {crc:#010x}"
+        )
+    if action == "drop":
+        # The frame is discarded after full receipt: to the caller it
+        # simply never arrived (read the next one / time out).
+        return recv_frame(sock, idle_ok=idle_ok, detail=detail)
+    try:
+        meta = json.loads(meta_bytes.decode("utf-8"))
+        kind = meta.pop("kind")
+    except (ValueError, KeyError) as error:
+        raise FrameIntegrityError(
+            f"frame meta is not valid JSON with a kind ({detail}): "
+            f"{error!r}"
+        ) from error
+    return kind, meta, blob

@@ -9,6 +9,11 @@ Covers the PR-5 tentpole guarantees:
 * the versioned payload schema — arrays, JSON scalars, RNG generator
   states and pickled objects round-trip bitwise; legacy weight-only
   archives are rejected loudly instead of resuming with reset state;
+* the SHA-256 integrity footer (schema v3): truncated or bit-flipped
+  payload bytes/files fail loudly as ``PayloadIntegrityError`` — a
+  transient ``OSError`` to the fault layer, a schema error to the
+  store's quarantine path — while footer-less legacy bytes keep their
+  specific diagnostics (PR-9 satellite);
 * RNG state round-trip for every ``SeedSequence``-derived stream
   (satellite): a restored ``bit_generator.state`` replays the exact
   draw sequence;
@@ -55,11 +60,14 @@ from repro.experiments.runner import (
 )
 from repro.nn import (
     LegacyCheckpointError,
+    PayloadIntegrityError,
+    dumps_payload,
     load_payload,
+    loads_payload,
     save_payload,
     save_state_dict,
 )
-from repro.parallel import JobSpec, resolve_jobs, run_jobs
+from repro.parallel import JobSpec, RetryPolicy, resolve_jobs, run_jobs
 from repro.reward import RewardCalculator, RewardConfig
 from repro.rl import PPOConfig, RNDConfig
 from repro.store import RunStore, store_key
@@ -238,6 +246,75 @@ class TestPayloadSchema:
         save_payload({"x": 1}, path, kind="sa-engine")
         with pytest.raises(Exception, match="kind"):
             load_payload(path, kind="rlplanner-trainer")
+
+
+class TestPayloadIntegrity:
+    """Satellite: the SHA-256 footer sealed onto every payload (schema
+    v3) makes corruption in transit or on disk fail loudly — and
+    *transiently*, so the fault layer re-broadcasts / re-reads instead
+    of quarantining a healthy source."""
+
+    def _payload(self):
+        return {"w": np.arange(12, dtype=np.float64), "step": 7}
+
+    def test_bytes_roundtrip_and_match_the_file_form(self, tmp_path):
+        data = dumps_payload(self._payload(), kind="test")
+        loaded = loads_payload(data, kind="test")
+        assert (loaded["w"] == self._payload()["w"]).all()
+        assert loaded["step"] == 7
+        path = tmp_path / "p.npz"
+        save_payload(self._payload(), path, kind="test")
+        assert path.read_bytes() == data
+
+    def test_bit_flip_fails_the_footer(self):
+        data = bytearray(dumps_payload(self._payload(), kind="test"))
+        data[len(data) // 2] ^= 0x01
+        with pytest.raises(PayloadIntegrityError, match="SHA-256"):
+            loads_payload(bytes(data), kind="test")
+
+    def test_bit_flipped_file_fails_on_load(self, tmp_path):
+        path = tmp_path / "p.npz"
+        save_payload(self._payload(), path, kind="test")
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 3] ^= 0x10
+        path.write_bytes(bytes(blob))
+        with pytest.raises(PayloadIntegrityError, match="SHA-256"):
+            load_payload(path, kind="test")
+
+    @pytest.mark.parametrize("keep", [10, 0.5])
+    def test_truncation_fails_even_without_the_footer(self, keep):
+        # A truncation that also destroys the footer magic falls through
+        # _unseal, then fails as an unreadable archive — still the same
+        # loud, transient error class, never a raw zip traceback.
+        data = dumps_payload(self._payload(), kind="test")
+        cut = keep if isinstance(keep, int) else int(len(data) * keep)
+        with pytest.raises(PayloadIntegrityError):
+            loads_payload(data[:cut], kind="test")
+
+    def test_footer_stripped_bytes_still_load(self):
+        # Pre-v3 payloads had no footer; _unseal tolerates their absence
+        # so the schema-version check downstream stays the error a user
+        # sees for genuinely old checkpoints (not "corrupted").
+        data = dumps_payload(self._payload(), kind="test")
+        stripped = data[:-40]  # 8-byte magic + 32-byte digest
+        loaded = loads_payload(stripped, kind="test")
+        assert loaded["step"] == 7
+
+    def test_integrity_error_is_transient_and_schema_classified(self):
+        error = PayloadIntegrityError("corrupt")
+        assert isinstance(error, OSError)
+        assert RetryPolicy.is_transient(error)
+        # ...and the store's quarantine path still catches it:
+        from repro.nn.serialization import CheckpointSchemaError
+
+        assert isinstance(error, CheckpointSchemaError)
+
+    def test_legacy_state_dict_error_is_unchanged(self, tmp_path):
+        # The footer must not swallow the actionable legacy diagnosis.
+        path = tmp_path / "legacy.npz"
+        save_state_dict({"w": np.zeros(3)}, path)
+        with pytest.raises(LegacyCheckpointError, match="legacy weight-only"):
+            load_payload(path)
 
 
 class TestRNGStateRoundTrip:

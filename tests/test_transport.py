@@ -1,0 +1,283 @@
+"""Socket framing: round-trips, integrity failures, chaos enactment.
+
+Covers the PR-9 wire format underneath remote collection:
+
+* frames round-trip (kind, meta, blob) — including empty and
+  multi-megabyte blobs — over a real socket pair;
+* every way a frame can go wrong maps onto the fault taxonomy:
+  corruption, truncation, bad magic, wrong version, absurd lengths and
+  mid-frame timeouts raise ``FrameIntegrityError``; a clean EOF between
+  frames raises ``ConnectionClosed``; both are ``OSError`` s the retry
+  policy classifies as *transient* (fence, reconnect, re-dispatch);
+* an idle receive timeout is **not** a fault when the caller opted in
+  (``idle_ok`` — the heartbeat poll loop's normal outcome);
+* chaos enactment at ``transport.send`` / ``transport.recv``: ``drop``
+  makes frames vanish, ``corrupt`` flips a post-CRC bit so the peer's
+  checksum trips, ``disconnect`` severs the connection mid-conversation.
+"""
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.parallel.chaos import ChaosInjector, ChaosSpec, set_chaos
+from repro.parallel.faults import RetryPolicy
+from repro.parallel.transport import (
+    _HEADER,
+    MAGIC,
+    MAX_FRAME_BYTES,
+    ConnectionClosed,
+    FrameIntegrityError,
+    TransportError,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    left.settimeout(5.0)
+    right.settimeout(5.0)
+    yield left, right
+    left.close()
+    right.close()
+
+
+@pytest.fixture(autouse=True)
+def _no_chaos():
+    yield
+    set_chaos(None)
+
+
+def _inject(*specs):
+    set_chaos(ChaosInjector([ChaosSpec(**spec) for spec in specs]))
+
+
+class TestRoundTrip:
+    def test_kind_meta_blob(self, pair):
+        left, right = pair
+        send_frame(left, "task", {"epoch": 3, "start": 10}, b"weights")
+        kind, meta, blob = recv_frame(right)
+        assert kind == "task"
+        assert meta == {"epoch": 3, "start": 10}
+        assert blob == b"weights"
+
+    def test_empty_meta_and_blob(self, pair):
+        left, right = pair
+        send_frame(left, "heartbeat")
+        assert recv_frame(right) == ("heartbeat", {}, b"")
+
+    def test_large_blob(self, pair):
+        left, right = pair
+        blob = bytes(range(256)) * 16384  # 4 MiB
+        writer = threading.Thread(
+            target=send_frame, args=(left, "result", None, blob)
+        )
+        writer.start()
+        kind, _, got = recv_frame(right)
+        writer.join()
+        assert kind == "result"
+        assert got == blob
+
+    def test_frames_are_ordered(self, pair):
+        left, right = pair
+        for index in range(5):
+            send_frame(left, "seq", {"n": index})
+        assert [recv_frame(right)[1]["n"] for _ in range(5)] == list(range(5))
+
+    def test_send_lock_serializes_writers(self, pair):
+        left, right = pair
+        lock = threading.Lock()
+        blob = b"x" * (1 << 20)
+        threads = [
+            threading.Thread(
+                target=send_frame,
+                args=(left, "result", {"w": index}, blob),
+                kwargs={"lock": lock},
+            )
+            for index in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        frames = [recv_frame(right) for _ in range(4)]
+        for thread in threads:
+            thread.join()
+        assert sorted(meta["w"] for _, meta, _ in frames) == [0, 1, 2, 3]
+        assert all(got == blob for _, _, got in frames)
+
+
+class TestFailureClassification:
+    def test_clean_eof_between_frames(self, pair):
+        left, right = pair
+        left.close()
+        with pytest.raises(ConnectionClosed):
+            recv_frame(right)
+
+    def test_truncated_frame_is_integrity_error(self, pair):
+        left, right = pair
+        header = _HEADER.pack(MAGIC, 1, 10, 100, 0)
+        left.sendall(header + b"only-part")  # promises 110 bytes
+        left.close()
+        with pytest.raises(FrameIntegrityError, match="mid-frame|short read"):
+            recv_frame(right)
+
+    def test_bad_magic(self, pair):
+        left, right = pair
+        left.sendall(_HEADER.pack(b"NOPE", 1, 0, 0, 0))
+        with pytest.raises(FrameIntegrityError, match="magic"):
+            recv_frame(right)
+
+    def test_wrong_version(self, pair):
+        left, right = pair
+        left.sendall(_HEADER.pack(MAGIC, 99, 0, 0, 0))
+        with pytest.raises(FrameIntegrityError, match="version"):
+            recv_frame(right)
+
+    def test_absurd_length_fails_fast(self, pair):
+        left, right = pair
+        left.sendall(_HEADER.pack(MAGIC, 1, 16, MAX_FRAME_BYTES, 0))
+        with pytest.raises(FrameIntegrityError, match="length"):
+            recv_frame(right)
+
+    def test_checksum_mismatch(self, pair):
+        left, right = pair
+        send_frame(left, "task", {"epoch": 1}, b"payload-bytes")
+        raw = bytearray()
+        while len(raw) < _HEADER.size:
+            raw.extend(right.recv(1 << 16))
+        raw[-1] ^= 0x01  # flip one payload bit in transit
+        relay, target = socket.socketpair()
+        relay.sendall(bytes(raw))
+        relay.close()
+        target.settimeout(5.0)
+        try:
+            with pytest.raises(FrameIntegrityError, match="checksum"):
+                recv_frame(target)
+        finally:
+            target.close()
+
+    def test_meta_without_kind_is_integrity_error(self, pair):
+        left, right = pair
+        meta_bytes = b'{"no_kind": 1}'
+        import zlib
+
+        crc = zlib.crc32(meta_bytes)
+        left.sendall(
+            _HEADER.pack(MAGIC, 1, len(meta_bytes), 0, crc) + meta_bytes
+        )
+        with pytest.raises(FrameIntegrityError, match="kind"):
+            recv_frame(right)
+
+    def test_idle_timeout_ok_returns_none(self, pair):
+        _, right = pair
+        right.settimeout(0.05)
+        assert recv_frame(right, idle_ok=True) is None
+
+    def test_idle_timeout_without_opt_in_raises(self, pair):
+        _, right = pair
+        right.settimeout(0.05)
+        with pytest.raises(FrameIntegrityError, match="waiting for a frame"):
+            recv_frame(right)
+
+    def test_timeout_mid_frame_is_integrity_error_even_with_idle_ok(
+        self, pair
+    ):
+        left, right = pair
+        header = _HEADER.pack(MAGIC, 1, 10, 0, 0)
+        left.sendall(header)  # promises 10 meta bytes that never come
+        right.settimeout(0.1)
+        with pytest.raises(FrameIntegrityError, match="mid-frame"):
+            recv_frame(right, idle_ok=True)
+
+    @pytest.mark.parametrize(
+        "error",
+        [
+            FrameIntegrityError("checksum"),
+            ConnectionClosed("eof"),
+            TransportError("base"),
+        ],
+    )
+    def test_transport_errors_are_transient(self, error):
+        # The whole recovery story hangs on this: fence + reconnect +
+        # re-dispatch only happens for errors the policy retries.
+        assert isinstance(error, OSError)
+        assert RetryPolicy.is_transient(error)
+
+
+class TestChaosEnactment:
+    def test_send_drop_vanishes_frame(self, pair):
+        left, right = pair
+        _inject(dict(point="transport.send", mode="drop", times=1))
+        send_frame(left, "lost", detail="worker:w0")
+        send_frame(left, "kept", detail="worker:w0")
+        assert recv_frame(right)[0] == "kept"
+
+    def test_send_corrupt_trips_peer_checksum(self, pair):
+        left, right = pair
+        _inject(dict(point="transport.send", mode="corrupt", times=1))
+        send_frame(left, "task", {"epoch": 1}, b"weights", detail="w0")
+        with pytest.raises(FrameIntegrityError, match="checksum"):
+            recv_frame(right)
+
+    def test_send_corrupt_without_blob_hits_meta(self, pair):
+        left, right = pair
+        _inject(dict(point="transport.send", mode="corrupt", times=1))
+        send_frame(left, "heartbeat", {"lease": "lease-1"}, detail="w0")
+        with pytest.raises(FrameIntegrityError, match="checksum"):
+            recv_frame(right)
+
+    def test_send_disconnect_severs_both_ends(self, pair):
+        left, right = pair
+        _inject(dict(point="transport.send", mode="disconnect", times=1))
+        with pytest.raises(ConnectionClosed, match="chaos"):
+            send_frame(left, "task", {}, b"x", detail="w0")
+        # The frame itself made it out before the cut — the peer reads
+        # it, then sees EOF (disconnect models a failure *after* send).
+        assert recv_frame(right)[0] == "task"
+        with pytest.raises(ConnectionClosed):
+            recv_frame(right)
+
+    def test_recv_drop_discards_delivered_frame(self, pair):
+        left, right = pair
+        send_frame(left, "first")
+        send_frame(left, "second")
+        _inject(dict(point="transport.recv", mode="drop", times=1))
+        # The drop consumes "first" off the wire; the caller sees the
+        # next frame as if "first" never arrived.
+        assert recv_frame(right)[0] == "second"
+
+    def test_recv_corrupt_trips_local_checksum(self, pair):
+        left, right = pair
+        send_frame(left, "task", {"epoch": 1}, b"weights")
+        _inject(dict(point="transport.recv", mode="corrupt", times=1))
+        with pytest.raises(FrameIntegrityError, match="checksum"):
+            recv_frame(right)
+
+    def test_recv_disconnect_closes_before_reading(self, pair):
+        left, right = pair
+        send_frame(left, "task")
+        _inject(dict(point="transport.recv", mode="disconnect", times=1))
+        with pytest.raises(ConnectionClosed, match="chaos"):
+            recv_frame(right)
+
+    def test_detail_match_scopes_injection(self, pair):
+        left, right = pair
+        _inject(
+            dict(
+                point="transport.send", mode="drop", match="worker:w1", times=1
+            )
+        )
+        send_frame(left, "kept", detail="coordinator")  # no match
+        assert recv_frame(right)[0] == "kept"
+        send_frame(left, "lost", detail="worker:w1:result")
+        send_frame(left, "after", detail="worker:w1:result")
+        assert recv_frame(right)[0] == "after"
+
+    def test_header_layout_is_stable(self):
+        # The wire format is a cross-machine contract; changing it must
+        # be a deliberate versioned act, not a refactor side effect.
+        assert _HEADER.size == struct.calcsize(">4sBxIQI")
+        assert MAGIC == b"RLPT"
