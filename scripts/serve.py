@@ -1,0 +1,31 @@
+"""Run the persistent floorplanning service.
+
+Thin entrypoint over ``repro.cli serve`` (the serve layer itself lives
+in ``src/repro/serve/``)::
+
+    PYTHONPATH=src python scripts/serve.py --port 8337
+
+The process loads nothing up front: thermal characterization tables,
+``FastThermalModel`` interpolators, ``GridThermalSolver`` ``splu``
+factorizations, and policy networks warm up on first use and stay
+resident for every later request.  Placement requests memoize through
+the content-addressed run store (``--store-dir``): an identical
+(system, method, budget) request is answered from the store with zero
+evaluator calls, bitwise identical to the first answer — which is
+itself bitwise identical to the same request run through ``repro.cli
+train``/``sa``.
+
+Send traffic with ``rlplanner submit``, the
+:class:`repro.serve.ServeClient`, or plain HTTP (see
+``src/repro/serve/server.py`` for the endpoint table).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main(["serve", *sys.argv[1:]]))

@@ -6,6 +6,11 @@ Subcommands map one-to-one onto the experiment harness:
   paper table at a chosen budget scale
 * ``train`` — train RLPlanner on one benchmark and print the floorplan
 * ``sa`` — run the TAP-2.5D baseline on one benchmark
+* ``serve`` — run the persistent floorplanning service (warm
+  evaluators, micro-batched requests, run-store memoization)
+* ``submit`` — send one placement request to a running service; a
+  served result is bitwise identical to the same (benchmark, method,
+  budget) run locally through ``train``/``sa``
 
 ``--jobs N`` (or ``--jobs auto``) fans independent work over a process
 pool; ``--resume`` makes sweeps durable through the content-addressed
@@ -58,6 +63,7 @@ def _budget_from_args(args) -> ExperimentBudget:
         collect_jobs=args.collect_jobs,
         collect_workers=args.collect_workers,
         collect_bind=args.collect_bind,
+        compress_broadcast=args.compress_broadcast,
         async_collect=args.async_collect,
         sa_chains=args.sa_chains,
         sa_incremental=args.sa_incremental,
@@ -105,6 +111,13 @@ def _add_budget_args(parser) -> None:
         help="host:port the collection coordinator binds (port 0 = "
         "ephemeral); use 0.0.0.0:<port> to accept workers from other "
         "machines",
+    )
+    parser.add_argument(
+        "--compress-broadcast",
+        action="store_true",
+        help="zlib-compress the per-epoch weight broadcast to "
+        "collection workers (transport encoding only: decoded weights "
+        "and collected episodes are bitwise identical either way)",
     )
     parser.add_argument(
         "--async-collect",
@@ -272,6 +285,66 @@ def main(argv=None) -> int:
     )
     _add_budget_args(ps)
 
+    pv = sub.add_parser(
+        "serve", help="run the persistent floorplanning service"
+    )
+    pv.add_argument("--host", default="127.0.0.1")
+    pv.add_argument("--port", type=int, default=8337)
+    pv.add_argument(
+        "--store-dir",
+        type=str,
+        default=str(DEFAULT_STORE_DIR),
+        help="run-store root for whole-request memoization "
+        f"(default: {DEFAULT_STORE_DIR}); identical (system, method, "
+        "budget) requests are answered from the store with zero compute",
+    )
+    pv.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable request memoization (warm caches stay on)",
+    )
+    pv.add_argument(
+        "--cache-dir",
+        type=str,
+        default=None,
+        help="thermal characterization cache dir (default: the "
+        "harness-wide .cache/thermal_tables)",
+    )
+    pv.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=2.0,
+        help="micro-batch window: how long a request holds its batch "
+        "open for concurrent companions before computing (default 2ms)",
+    )
+    pv.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="cap on coalesced requests per batched evaluator call",
+    )
+
+    pb = sub.add_parser(
+        "submit", help="submit one placement request to a running service"
+    )
+    pb.add_argument("benchmark", choices=benchmark_names())
+    pb.add_argument(
+        "--url",
+        default="http://127.0.0.1:8337",
+        help="base URL of a 'rlplanner serve' instance",
+    )
+    pb.add_argument(
+        "--method",
+        choices=(
+            "RLPlanner",
+            "RLPlanner(RND)",
+            "TAP-2.5D(HotSpot)",
+            "TAP-2.5D*(FastThermal)",
+        ),
+        default="TAP-2.5D*(FastThermal)",
+    )
+    _add_budget_args(pb)
+
     args = parser.parse_args(argv)
     report = SweepReport()
 
@@ -341,6 +414,43 @@ def main(argv=None) -> int:
         )
         results = run_all_methods(spec, budget, methods=(method,))
         print(format_table(results))
+        return 0
+    elif args.command == "serve":
+        from repro.serve import serve_forever
+
+        serve_forever(
+            args.host,
+            args.port,
+            store_dir=None if args.no_store else args.store_dir,
+            cache_dir=args.cache_dir,
+            window_s=args.batch_window_ms / 1000.0,
+            max_batch=args.max_batch,
+        )
+        return 0
+    elif args.command == "submit":
+        from repro.serve import ServeClient
+        from repro.serve.schema import budget_to_dict
+
+        client = ServeClient(args.url)
+        response = client.place(
+            args.benchmark,
+            args.method,
+            budget_to_dict(_budget_from_args(args)),
+        )
+        result = response["result"]
+        print(
+            f"{result['system']}  {result['method']}  "
+            f"reward={result['reward']!r}  "
+            f"wirelength={result['wirelength']!r}mm  "
+            f"T={result['temperature_c']!r}C  "
+            f"cache={response['cache']}  "
+            f"evaluator_calls={response['evaluator_calls']}"
+        )
+        if getattr(args, "output", None):
+            import json
+            from pathlib import Path
+
+            Path(args.output).write_text(json.dumps(response, indent=2))
         return 0
     else:  # pragma: no cover - argparse guards this
         parser.error(f"unknown command {args.command}")

@@ -142,6 +142,11 @@ class ExperimentBudget:
     # streams), so neither knob enters a store key.
     collect_workers: int = 0
     collect_bind: str = "127.0.0.1:0"
+    # zlib-compress the per-epoch weight broadcast to collection
+    # workers (TrainerConfig.compress_broadcast).  A transport encoding
+    # only — decoded weights and collected episodes are bitwise
+    # identical either way — so it never enters a store key.
+    compress_broadcast: bool = False
     # Pipeline episode collection with PPO updates: epoch k+1 is
     # collected with the pre-update epoch-k policy while the learner
     # runs update k (TrainerConfig.async_collect).  One epoch of policy
@@ -187,6 +192,7 @@ _NON_SEMANTIC_BUDGET_FIELDS = (
     "collect_jobs",
     "collect_workers",
     "collect_bind",
+    "compress_broadcast",
 )
 
 
@@ -319,7 +325,7 @@ def build_evaluators(spec: BenchmarkSpec, budget: ExperimentBudget, cache_dir=No
 
 
 def _run_rl(
-    spec, reward_calculator, budget, use_rnd: bool, resume=None
+    spec, reward_calculator, budget, use_rnd: bool, resume=None, capture=None
 ) -> MethodResult:
     env = FloorplanEnv(
         spec.system,
@@ -335,6 +341,7 @@ def _run_rl(
             collect_jobs=budget.collect_jobs,
             collect_workers=budget.collect_workers,
             collect_bind=budget.collect_bind,
+            compress_broadcast=budget.compress_broadcast,
             async_collect=budget.async_collect,
             seed=budget.seed,
             use_rnd=use_rnd,
@@ -359,6 +366,8 @@ def _run_rl(
             trainer.load_state_dict(state)
         checkpoint_fn = resume.save
     result = trainer.train(checkpoint_fn=checkpoint_fn)
+    if capture is not None:
+        capture["placement"] = result.best_placement
     breakdown = result.best_breakdown
     method = "RLPlanner(RND)" if use_rnd else "RLPlanner"
     if breakdown is None:
@@ -417,7 +426,13 @@ class _ResumeSlot:
 
 
 def _run_sa(
-    spec, reward_calculator, budget, variant: str, time_limit=None, resume=None
+    spec,
+    reward_calculator,
+    budget,
+    variant: str,
+    time_limit=None,
+    resume=None,
+    capture=None,
 ) -> MethodResult:
     if variant == "TAP-2.5D(HotSpot)":
         # The grid solver's multi-RHS path solves every chain's
@@ -503,6 +518,8 @@ def _run_sa(
             )
         checkpoint_fn = resume.save
     result = placer.run(resume_state=resume_state, checkpoint_fn=checkpoint_fn)
+    if capture is not None:
+        capture["placement"] = result.placement
     return MethodResult(
         system=spec.name,
         method=variant,
@@ -574,16 +591,48 @@ def run_method_arm(
 def _dispatch_method_arm(
     spec, method, budget, cache_dir, time_limit, time_matched, resume
 ) -> MethodResult:
-    evaluators = build_evaluators(spec, budget, cache_dir)
+    return dispatch_method_arm(
+        spec,
+        method,
+        budget,
+        evaluators=build_evaluators(spec, budget, cache_dir),
+        time_limit=time_limit,
+        time_matched=time_matched,
+        resume=resume,
+    )
+
+
+def dispatch_method_arm(
+    spec,
+    method,
+    budget,
+    evaluators,
+    *,
+    time_limit=None,
+    time_matched=None,
+    resume=None,
+    capture=None,
+) -> MethodResult:
+    """Run one method arm against pre-built evaluators.
+
+    This is the single code path both the CLI harness (via
+    :func:`run_method_arm`, which builds fresh evaluators) and the serve
+    layer (which keeps warm ones) execute, so a served placement is
+    bitwise identical to the same (spec, method, budget) run offline:
+    the thermal tables round-trip bit-exactly through the disk cache and
+    every RNG seeds from ``budget.seed``.  ``capture``, when given, is a
+    dict that receives the winning ``"placement"`` object — MethodResult
+    itself only carries the scalar summary.
+    """
     if method == "RLPlanner":
         return _run_rl(
             spec, evaluators["reward_fast"], budget, use_rnd=False,
-            resume=resume,
+            resume=resume, capture=capture,
         )
     if method == "RLPlanner(RND)":
         return _run_rl(
             spec, evaluators["reward_fast"], budget, use_rnd=True,
-            resume=resume,
+            resume=resume, capture=capture,
         )
     if method == "TAP-2.5D(HotSpot)":
         return _run_sa(
@@ -592,6 +641,7 @@ def _dispatch_method_arm(
             budget,
             "TAP-2.5D(HotSpot)",
             resume=resume,
+            capture=capture,
         )
     if method == "TAP-2.5D*(FastThermal)":
         result = _run_sa(
@@ -601,6 +651,7 @@ def _dispatch_method_arm(
             "TAP-2.5D*(FastThermal)",
             time_limit=time_limit,
             resume=resume,
+            capture=capture,
         )
         if time_matched is not None:
             result.extra["time_matched"] = bool(time_matched)

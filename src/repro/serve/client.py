@@ -1,0 +1,124 @@
+"""Stdlib client for the floorplanning service (urllib, no deps).
+
+Used by ``repro.cli submit``, the CI smoke, and the serve benchmark.
+JSON floats round-trip exactly through Python's encoder/parser, so
+values read back here are bitwise-comparable against locally computed
+results.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+__all__ = ["ServeClient", "ServeError"]
+
+
+class ServeError(RuntimeError):
+    """Server answered with an error status (message from its body)."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    def __init__(self, base_url: str, timeout: float = 600.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+
+    def _request(
+        self, method: str, path: str, body: bytes | None = None,
+        content_type: str = "application/json",
+    ) -> dict:
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": content_type} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as reply:
+                return json.loads(reply.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            raw = error.read().decode("utf-8", errors="replace")
+            try:
+                message = json.loads(raw).get("error", raw)
+            except json.JSONDecodeError:
+                message = raw
+            raise ServeError(error.code, message) from None
+
+    def _post_json(self, path: str, payload: dict) -> dict:
+        return self._request(
+            "POST", path, json.dumps(payload).encode("utf-8")
+        )
+
+    # -- endpoints ------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/v1/health")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/v1/stats")
+
+    def benchmarks(self) -> list:
+        return self._request("GET", "/v1/benchmarks")["benchmarks"]
+
+    def policies(self) -> dict:
+        return self._request("GET", "/v1/policies")["policies"]
+
+    def place(self, system: str, method: str, budget: dict | None = None) -> dict:
+        return self._post_json(
+            "/v1/place",
+            {"system": system, "method": method, "budget": budget or {}},
+        )
+
+    def evaluate(
+        self,
+        system: str,
+        placement: dict,
+        evaluator: str = "fast",
+        budget: dict | None = None,
+    ) -> dict:
+        return self._post_json(
+            "/v1/evaluate",
+            {
+                "system": system,
+                "placement": placement,
+                "evaluator": evaluator,
+                "budget": budget or {},
+            },
+        )
+
+    def rollout(
+        self,
+        policy: str,
+        system: str,
+        seed: int = 0,
+        greedy: bool = False,
+        budget: dict | None = None,
+    ) -> dict:
+        return self._post_json(
+            "/v1/rollout",
+            {
+                "policy": policy,
+                "system": system,
+                "seed": seed,
+                "greedy": greedy,
+                "budget": budget or {},
+            },
+        )
+
+    def register_policy(
+        self, name: str, payload: bytes, channels=(16, 32, 32)
+    ) -> dict:
+        channel_spec = ",".join(str(int(c)) for c in channels)
+        return self._request(
+            "POST",
+            f"/v1/policies?name={name}&channels={channel_spec}",
+            payload,
+            content_type="application/octet-stream",
+        )

@@ -36,6 +36,7 @@ import dataclasses
 import hashlib
 import json
 import pickle
+import threading
 from pathlib import Path
 
 from repro.parallel import chaos
@@ -103,15 +104,19 @@ class RunStore:
     """Content-addressed artifact cache rooted at one directory.
 
     Safe for concurrent use from multiple processes (each builds its own
-    instance over the shared root).  ``hits``/``misses`` count this
-    instance's result lookups — the accounting the resume tests assert
-    on ("a completed sweep re-executes zero arms").
+    instance over the shared root) and from multiple threads of one
+    process (the serve layer shares one instance across request
+    threads).  ``hits``/``misses`` count this instance's result
+    lookups — the accounting the resume tests assert on ("a completed
+    sweep re-executes zero arms") — behind a lock, since ``+= 1`` on a
+    plain attribute is not atomic across threads.
     """
 
     def __init__(self, root=DEFAULT_STORE_DIR):
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self._counter_lock = threading.Lock()
 
     # -- paths ----------------------------------------------------------
 
@@ -130,14 +135,21 @@ class RunStore:
         """``(hit, value)`` — distinguishes a stored ``None`` from a miss."""
         value = self._read(self.result_path(key))
         if value is _MISS:
-            self.misses += 1
+            with self._counter_lock:
+                self.misses += 1
             return False, None
-        self.hits += 1
+        with self._counter_lock:
+            self.hits += 1
         return True, value
 
     def get(self, key: str, default=None):
         hit, value = self.fetch(key)
         return value if hit else default
+
+    def counters(self) -> tuple:
+        """Consistent ``(hits, misses)`` snapshot across threads."""
+        with self._counter_lock:
+            return self.hits, self.misses
 
     def put(self, key: str, value) -> None:
         """Publish a completed result (atomic; last writer wins)."""

@@ -967,3 +967,60 @@ class TestAblationsSharded:
         assert rerun.hits == len(first) and rerun.misses == 0
         for a, b in zip(first, second):
             assert _hex(a.reward) == _hex(b.reward)
+
+
+# ----------------------------------------------------------------------
+# thread-safe hit/miss accounting (PR-10 satellite)
+# ----------------------------------------------------------------------
+
+
+class TestThreadSafeCounters:
+    """The serve layer shares one RunStore across request threads;
+    ``+= 1`` on a plain attribute loses updates under contention, so
+    the counters sit behind a lock with a consistent snapshot API."""
+
+    def test_concurrent_fetches_lose_no_counts(self, tmp_path):
+        import threading
+
+        store = RunStore(tmp_path / "store")
+        present = "aa" * 32
+        absent = "bb" * 32
+        store.put(present, {"x": 1})
+        per_thread = 200
+        threads = 8
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                hit, value = store.fetch(present)
+                assert hit and value == {"x": 1}
+                hit, value = store.fetch(absent)
+                assert not hit and value is None
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert store.counters() == (
+            threads * per_thread,
+            threads * per_thread,
+        )
+        # The raw attributes agree with the snapshot once quiescent.
+        assert (store.hits, store.misses) == store.counters()
+
+    def test_compressed_payloads_interop_with_uncompressed(self, tmp_path):
+        # An opt-in compressed payload on disk loads through the same
+        # call sites as an uncompressed one (auto-detection), with the
+        # footer still verified over the uncompressed bytes.
+        state = {"w": np.linspace(0.0, 1.0, 32), "epoch": 4}
+        plain_path = tmp_path / "plain.npz"
+        packed_path = tmp_path / "packed.npz"
+        save_payload(state, plain_path, kind="test")
+        save_payload(state, packed_path, kind="test", compress=True)
+        assert packed_path.read_bytes().startswith(b"RPRZLB1\x00")
+        plain = load_payload(plain_path, kind="test")
+        packed = load_payload(packed_path, kind="test")
+        assert plain["w"].tobytes() == packed["w"].tobytes()
+        assert plain["epoch"] == packed["epoch"] == 4
